@@ -1,0 +1,26 @@
+"""Benchmark-scale configurations shared by the harness.
+
+The paper's synthetic datasets contain 200K record groups and the model
+fine-tuning runs for hours on a Tesla T4; the harness runs the identical
+code paths at a scale that completes in CPU-minutes.  ``EXPERIMENTS.md``
+records this scale next to every reproduced table.
+"""
+
+from repro.datagen import GenerationConfig, RealLikeConfig
+from repro.datagen.wdc import WdcConfig
+
+#: Synthetic companies / securities generation (Table 1/2 "Synthetic" rows).
+SYNTHETIC_CONFIG = GenerationConfig(
+    num_entities=140, num_sources=5, seed=101,
+    acquisition_rate=0.04, merger_rate=0.04,
+)
+
+#: The labelled-real-subset shape (8 sources, mostly identifier-matchable).
+REAL_LIKE_CONFIG = RealLikeConfig(num_entities=100, seed=102)
+
+#: WDC-Products-style product offers.
+WDC_CONFIG = WdcConfig(num_entities=120, num_sources=15, seed=103)
+
+#: Fine-tuning setup shared by the Table 3 / Table 4 benches.
+FINE_TUNE_EPOCHS = 3
+NEGATIVE_RATIO = 5

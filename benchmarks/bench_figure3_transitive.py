@@ -1,0 +1,45 @@
+"""Figure 3 — transitive matches implied by pairwise predictions.
+
+Figure 3 shows how three pairwise matches over the Herotel/Hearst
+acquisition imply three additional transitive matches.  The benchmark
+reproduces the example exactly and additionally measures transitive-closure
+expansion on a generated prediction graph (the operation behind the
+Pre Graph Cleanup stage scores).
+"""
+
+from repro.core.transitive import transitive_closure_edges, transitive_matches
+from repro.datagen import figure2_dataset
+from repro.evaluation import format_table
+
+
+def test_figure3_acquisition_example(benchmark, save_table):
+    """The exact Figure 3 example: 3 predicted edges imply 3 more."""
+    predicted = [("#11", "#21"), ("#21", "#33"), ("#33", "#41")]
+
+    implied = benchmark(lambda: transitive_matches(predicted))
+
+    assert implied == {("#11", "#33"), ("#11", "#41"), ("#21", "#41")}
+    companies, _ = figure2_dataset()
+    # Every implied pair is a true match: the acquisition makes all four
+    # records one group, discoverable only transitively via record #21.
+    assert all(companies.is_true_match(left, right) for left, right in implied)
+
+    rows = [
+        {"Kind": "predicted pairwise matches", "Pairs": ", ".join(f"{a}-{b}" for a, b in predicted)},
+        {"Kind": "implied transitive matches", "Pairs": ", ".join(f"{a}-{b}" for a, b in sorted(implied))},
+    ]
+    save_table("figure3_transitive", format_table(rows, title="Figure 3 — transitive matches"))
+
+
+def test_figure3_closure_scales_with_component_size(benchmark):
+    """Closure of a chained prediction graph produces quadratic match counts.
+
+    This is the quantitative phenomenon behind the paper's warning: a single
+    chain of predictions across n records implies n·(n-1)/2 matches.
+    """
+    chain = [(f"r{i}", f"r{i + 1}") for i in range(200)]
+
+    closure = benchmark(lambda: transitive_closure_edges(chain))
+
+    n = 201
+    assert len(closure) == n * (n - 1) // 2

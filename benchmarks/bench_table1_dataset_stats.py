@@ -1,0 +1,55 @@
+"""Table 1 — general statistics of the benchmark datasets.
+
+Regenerates the rows of Table 1 (number of data sources, entities, records
+and matches, average matches per entity, share of records with text
+descriptions) for the synthetic and real-like companies / securities
+datasets.  The benchmark measures the dataset generation itself, which the
+paper describes as linear in the number of record groups.
+"""
+
+from repro.datagen import generate_benchmark
+from repro.datagen.stats import dataset_statistics
+from repro.evaluation import format_table
+
+from bench_config import SYNTHETIC_CONFIG
+
+
+def test_table1_dataset_statistics(benchmark, dataset_registry, save_table):
+    """Compute the Table 1 rows for every dataset (and time the statistics)."""
+
+    def compute_rows():
+        return [
+            {**dataset_statistics(dataset_registry[name]).as_row(), "dataset": name}
+            for name in (
+                "real-companies",
+                "synthetic-companies",
+                "real-securities",
+                "synthetic-securities",
+                "wdc-products",
+            )
+        ]
+
+    rows = benchmark(compute_rows)
+    table = format_table(rows, title="Table 1 — dataset statistics (benchmark scale)")
+    save_table("table1_dataset_stats", table)
+
+    by_name = {row["dataset"]: row for row in rows}
+    synthetic_companies = by_name["synthetic-companies"]
+    # Shape checks against the paper's Table 1: 5 sources, several matches
+    # per entity, roughly a third of company records with descriptions.
+    assert synthetic_companies["# of Data Sources"] == 5
+    assert synthetic_companies["Avg. # of Matches per Entity"] > 2
+    assert 15 <= synthetic_companies["% of Records with Text Descriptions"] <= 50
+    assert by_name["real-companies"]["# of Data Sources"] == 8
+    assert by_name["synthetic-securities"]["% of Records with Text Descriptions"] is None
+
+
+def test_table1_generation_scales_linearly(benchmark):
+    """The generation cost per record group stays flat (Section 3.2 claim)."""
+
+    def generate():
+        return generate_benchmark(SYNTHETIC_CONFIG)
+
+    result = benchmark.pedantic(generate, rounds=1, iterations=1)
+    assert len(result.companies) > 0
+    assert len(result.securities) > 0

@@ -1,0 +1,71 @@
+"""Table 2 — blockings, record counts, candidate pairs and thresholds.
+
+Regenerates Table 2: for every dataset the blockings applied, the number of
+records, the number of candidate pairs they produce and the clean-up
+thresholds gamma / mu.  The benchmark measures candidate-pair generation.
+"""
+
+from repro.blocking import (
+    CombinedBlocking,
+    IdOverlapBlocking,
+    IssuerMatchBlocking,
+    TokenOverlapBlocking,
+)
+from repro.blocking.base import recall_of_blocking
+from repro.core.cleanup import CleanupConfig
+from repro.evaluation import format_table
+
+
+def _blocking_for(name, dataset):
+    if name.endswith("companies"):
+        return "ID Overlap + Token Overlap", CombinedBlocking(
+            [IdOverlapBlocking(), TokenOverlapBlocking(top_n=5)]
+        )
+    if name.endswith("securities"):
+        return "ID Overlap + Issuer Match", CombinedBlocking(
+            [IdOverlapBlocking(), IssuerMatchBlocking.from_ground_truth(dataset)]
+        )
+    return "Token Overlap", TokenOverlapBlocking(top_n=5)
+
+
+def test_table2_blocking_statistics(benchmark, dataset_registry, save_table):
+    """Candidate-pair counts and thresholds per dataset."""
+
+    def compute_rows():
+        rows = []
+        for name in (
+            "real-companies",
+            "synthetic-companies",
+            "real-securities",
+            "synthetic-securities",
+            "wdc-products",
+        ):
+            dataset = dataset_registry[name]
+            blocking_label, blocking = _blocking_for(name, dataset)
+            candidates = blocking.candidate_pairs(dataset)
+            cleanup = CleanupConfig.for_num_sources(len(dataset.sources))
+            rows.append({
+                "Dataset": name,
+                "Blockings": blocking_label,
+                "# of Records": len(dataset),
+                "# of Candidate Pairs": len(candidates),
+                "Blocking Recall": round(100 * recall_of_blocking(candidates, dataset), 1),
+                "gamma": cleanup.gamma,
+                "mu": cleanup.mu,
+            })
+        return rows
+
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    table = format_table(rows, title="Table 2 — blockings and candidate pairs (benchmark scale)")
+    save_table("table2_blocking", table)
+
+    by_name = {row["Dataset"]: row for row in rows}
+    # Shape checks mirroring Table 2: candidate pairs are a small multiple of
+    # the record count (not quadratic), mu equals the number of sources, and
+    # the securities recipes use the Issuer Match blocking.
+    for name, row in by_name.items():
+        assert row["# of Candidate Pairs"] < row["# of Records"] ** 2 / 4
+    assert by_name["synthetic-companies"]["mu"] == 5
+    assert by_name["real-companies"]["mu"] == 8
+    assert "Issuer Match" in by_name["synthetic-securities"]["Blockings"]
+    assert by_name["synthetic-companies"]["Blocking Recall"] > 60

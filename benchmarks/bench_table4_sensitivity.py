@@ -1,0 +1,83 @@
+"""Table 4 (sensitivity rows) — γ / μ threshold variants of Algorithm 1.
+
+Reproduces the DistilBERT (128)-ALL-MEC, (½γ) and -BC rows of Table 4: the
+same pairwise predictions on the synthetic companies dataset are cleaned up
+with the default thresholds, with Minimum Edge Cuts only (γ = μ), with γ
+halved and with Betweenness Centrality only (γ = ∞).  The paper finds all
+variants land close together, with MEC-only slightly worse on recall and
+BC-only slightly slower.
+"""
+
+import pytest
+
+from repro.core.cleanup import CleanupConfig, gralmatch_cleanup
+from repro.core.groups import EntityGroups
+from repro.core.metrics import group_matching_scores
+from repro.core.pipeline import EntityGroupMatchingPipeline
+from repro.evaluation import format_table
+from repro.evaluation.experiment import EntityGroupMatchingExperiment, ExperimentConfig
+
+_rows: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def company_predictions(dataset_registry, finetune_cache):
+    """Positive edges of DistilBERT (128)-ALL on the synthetic companies."""
+    dataset = dataset_registry["synthetic-companies"]
+    fine_tuned, _, _ = finetune_cache("synthetic-companies", "distilbert-128-all")
+    experiment = EntityGroupMatchingExperiment(
+        dataset, ExperimentConfig(model="distilbert-128-all", dataset_kind="companies")
+    )
+    pipeline = EntityGroupMatchingPipeline(
+        matcher=fine_tuned.matcher,
+        blocking=experiment.build_blocking(),
+        cleanup_config=experiment.build_cleanup_config(),
+    )
+    result = pipeline.run(dataset)
+    return dataset, result.positive_edges
+
+
+VARIANTS = ["default", "mec-only", "half-gamma", "bc-only"]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_table4_sensitivity_variant(benchmark, company_predictions, variant):
+    """Clean up the same predictions under one threshold variant."""
+    dataset, edges = company_predictions
+    base = CleanupConfig.for_num_sources(len(dataset.sources))
+    config = {
+        "default": base,
+        "mec-only": base.mec_only(),
+        "half-gamma": base.half_gamma(),
+        "bc-only": base.bc_only(),
+    }[variant]
+
+    def run():
+        return gralmatch_cleanup(edges, config)
+
+    components, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    all_records = [record.record_id for record in dataset]
+    covered = {record for component in components for record in component}
+    groups = EntityGroups(list(components) + [{r} for r in all_records if r not in covered])
+    scores = group_matching_scores(groups, dataset.true_matches())
+    _rows.append({
+        "Variant": variant,
+        "gamma": "inf" if config.gamma is None else config.gamma,
+        "mu": config.mu,
+        **scores.as_row(),
+        "Removed edges": report.num_removed,
+        "MEC removals": report.mincut_removals,
+        "BC removals": report.betweenness_removals,
+    })
+    assert all(len(component) <= config.mu for component in components)
+
+
+def test_table4_sensitivity_report(benchmark, save_table):
+    """All threshold variants land close together (the paper's conclusion)."""
+    rows = benchmark(lambda: list(_rows))
+    table = format_table(rows, title="Table 4 — GraLMatch threshold sensitivity")
+    save_table("table4_sensitivity", table)
+    assert len(rows) == len(VARIANTS)
+    f1_values = [row["f1"] for row in rows]
+    assert max(f1_values) - min(f1_values) < 15.0

@@ -1,0 +1,102 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (see ``EXPERIMENTS.md`` for the mapping and the scale note).  Datasets
+and fine-tuned matchers are expensive, so they are built once per session
+and cached here; the ``benchmark`` fixture then measures the interesting
+step (generation, blocking, fine-tuning, pipeline, clean-up).
+
+Rendered result tables are written to ``benchmarks/results/`` so the numbers
+remain inspectable after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import generate_benchmark
+from repro.datagen.wdc import generate_wdc_products
+from repro.evaluation import split_dataset
+from repro.matching.training import FineTuner
+
+from bench_config import (
+    FINE_TUNE_EPOCHS,
+    NEGATIVE_RATIO,
+    REAL_LIKE_CONFIG,
+    SYNTHETIC_CONFIG,
+    WDC_CONFIG,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def synthetic_benchmark():
+    """Synthetic companies + securities datasets (Table 1/2 'Synthetic')."""
+    return generate_benchmark(SYNTHETIC_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def real_like_benchmark():
+    """The 'real labelled subset'-shaped datasets (8 sources, easier groups)."""
+    return generate_benchmark(REAL_LIKE_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def wdc_dataset():
+    """The WDC-Products-style dataset."""
+    return generate_wdc_products(WDC_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def dataset_registry(synthetic_benchmark, real_like_benchmark, wdc_dataset):
+    """All benchmark datasets keyed by their Table 1 / Table 4 row names."""
+    return {
+        "synthetic-companies": synthetic_benchmark.companies,
+        "synthetic-securities": synthetic_benchmark.securities,
+        "real-companies": real_like_benchmark.companies,
+        "real-securities": real_like_benchmark.securities,
+        "wdc-products": wdc_dataset,
+    }
+
+
+@pytest.fixture(scope="session")
+def finetune_cache(dataset_registry):
+    """Memoised fine-tuning: (dataset name, model name) -> FineTuneResult."""
+    cache: dict[tuple[str, str], object] = {}
+
+    def fine_tune(dataset_name: str, model_name: str):
+        key = (dataset_name, model_name)
+        if key not in cache:
+            dataset = dataset_registry[dataset_name]
+            splits = split_dataset(dataset, seed=0)
+            tuner = FineTuner(
+                negative_ratio=NEGATIVE_RATIO, num_epochs=FINE_TUNE_EPOCHS, seed=0
+            )
+            cache[key] = (
+                tuner.fine_tune(
+                    model_name, dataset,
+                    splits.train_entities, splits.validation_entities,
+                ),
+                splits,
+                tuner,
+            )
+        return cache[key]
+
+    return fine_tune
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Write a rendered table to benchmarks/results/<name>.txt (and stdout)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return save

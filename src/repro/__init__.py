@@ -1,0 +1,65 @@
+"""GraLMatch reproduction: entity group matching with graphs and language models.
+
+This package reproduces the system described in *GraLMatch: Matching Groups of
+Entities with Graphs and Language Models* (EDBT 2025).  The public API is
+re-exported here; see ``DESIGN.md`` for the full system inventory and
+``EXPERIMENTS.md`` for the reproduced tables and figures.
+
+High-level entry points
+-----------------------
+* :class:`repro.core.pipeline.EntityGroupMatchingPipeline` — the end-to-end
+  workflow of Figure 1 (blocking → pairwise matching → graph clean-up →
+  entity groups).
+* :func:`repro.core.cleanup.gralmatch_cleanup` — Algorithm 1.
+* :mod:`repro.datagen` — synthetic multi-source companies / securities / WDC
+  benchmark generators.
+* :mod:`repro.matching` — pairwise matchers (attention-based DistilBERT
+  stand-in, DITTO-style serialization variants, feature-based logistic model,
+  identifier heuristic).
+* :mod:`repro.evaluation` — experiment harness that regenerates the paper's
+  tables.
+
+The heavyweight subpackages are imported lazily (PEP 562) so that, for
+example, the graph substrate can be used without paying for numpy model
+initialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+# Public name -> (module, attribute) for lazy resolution.
+_LAZY_EXPORTS: dict[str, tuple[str, str]] = {
+    "CleanupConfig": ("repro.core.cleanup", "CleanupConfig"),
+    "gralmatch_cleanup": ("repro.core.cleanup", "gralmatch_cleanup"),
+    "EntityGroups": ("repro.core.groups", "EntityGroups"),
+    "PairwiseScores": ("repro.core.metrics", "PairwiseScores"),
+    "GroupMatchingScores": ("repro.core.metrics", "GroupMatchingScores"),
+    "pairwise_scores": ("repro.core.metrics", "pairwise_scores"),
+    "group_matching_scores": ("repro.core.metrics", "group_matching_scores"),
+    "cluster_purity": ("repro.core.metrics", "cluster_purity"),
+    "EntityGroupMatchingPipeline": ("repro.core.pipeline", "EntityGroupMatchingPipeline"),
+    "PipelineResult": ("repro.core.pipeline", "PipelineResult"),
+    "transitive_closure_edges": ("repro.core.transitive", "transitive_closure_edges"),
+    "transitive_matches": ("repro.core.transitive", "transitive_matches"),
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve public names lazily from their defining module."""
+    if name in _LAZY_EXPORTS:
+        from importlib import import_module
+
+        module_name, attribute = _LAZY_EXPORTS[name]
+        value = getattr(import_module(module_name), attribute)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

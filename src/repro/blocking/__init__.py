@@ -1,0 +1,31 @@
+"""Blocking: candidate pair generation.
+
+Evaluating all ``n·(n-1)/2`` record pairs is infeasible, so the entity group
+matching experiment first reduces the search space with blockings
+(Section 5.3.1):
+
+* :class:`~repro.blocking.id_overlap.IdOverlapBlocking` — pairs sharing an
+  identifier (securities) or an associated security ISIN (companies),
+* :class:`~repro.blocking.token_overlap.TokenOverlapBlocking` — for every
+  record, the top-n records from *other* data sources with the most
+  overlapping name tokens,
+* :class:`~repro.blocking.issuer_match.IssuerMatchBlocking` — securities
+  whose issuers were previously matched (requires a company matching),
+* :class:`~repro.blocking.combine.CombinedBlocking` — the union used per
+  dataset in Table 2.
+"""
+
+from repro.blocking.base import Blocking, CandidatePair
+from repro.blocking.id_overlap import IdOverlapBlocking
+from repro.blocking.token_overlap import TokenOverlapBlocking
+from repro.blocking.issuer_match import IssuerMatchBlocking
+from repro.blocking.combine import CombinedBlocking
+
+__all__ = [
+    "Blocking",
+    "CandidatePair",
+    "IdOverlapBlocking",
+    "TokenOverlapBlocking",
+    "IssuerMatchBlocking",
+    "CombinedBlocking",
+]

@@ -1,0 +1,71 @@
+"""The blocking interface.
+
+A blocking takes a :class:`~repro.datagen.records.Dataset` and returns
+*candidate pairs* — unordered pairs of record ids that the pairwise matcher
+will evaluate.  Each candidate remembers which blocking produced it, because
+the Pre Graph Cleanup step of GraLMatch treats token-overlap candidates in
+very large components specially (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.datagen.records import Dataset, Record
+from repro.graphs.graph import canonical_edge
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """An unordered candidate pair, tagged with its originating blocking."""
+
+    left_id: str
+    right_id: str
+    blocking: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return canonical_edge(self.left_id, self.right_id)  # type: ignore[return-value]
+
+
+class Blocking(ABC):
+    """Base class for candidate pair generators."""
+
+    #: Name recorded on every emitted candidate pair.
+    name: str = "blocking"
+
+    @abstractmethod
+    def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
+        """Return the candidate pairs for ``dataset``."""
+
+    def _make_pair(self, left: Record | str, right: Record | str) -> CandidatePair:
+        left_id = left if isinstance(left, str) else left.record_id
+        right_id = right if isinstance(right, str) else right.record_id
+        first, second = canonical_edge(left_id, right_id)
+        return CandidatePair(first, second, self.name)
+
+
+def dedupe_pairs(pairs: list[CandidatePair]) -> list[CandidatePair]:
+    """Remove duplicate candidate pairs, keeping the first blocking that found each."""
+    seen: set[tuple[str, str]] = set()
+    unique: list[CandidatePair] = []
+    for pair in pairs:
+        if pair.key in seen:
+            continue
+        seen.add(pair.key)
+        unique.append(pair)
+    return unique
+
+
+def recall_of_blocking(pairs: list[CandidatePair], dataset: Dataset) -> float:
+    """Share of ground-truth matches covered by the candidate pairs.
+
+    This is the quantity that upper-bounds the pipeline's recall: true pairs
+    discarded by the blocking can never be recovered later (Section 5.3.2).
+    """
+    true_matches = dataset.true_matches()
+    if not true_matches:
+        return 1.0
+    found = {pair.key for pair in pairs}
+    return len(true_matches & found) / len(true_matches)

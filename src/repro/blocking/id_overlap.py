@@ -1,0 +1,70 @@
+"""ID Overlap blocking.
+
+Securities: candidate pairs are records that share any non-empty identifier
+(ISIN, CUSIP, SEDOL or VALOR).  Companies: candidate pairs are records whose
+*associated securities* share an identifier — the generator exposes this as
+the per-record ``security_isins`` tuple, mirroring how the paper evaluates
+"the companies whose associated securities have a matching identifier".
+
+This blocking is cheap (one inverted index pass) and corresponds to the
+industry-standard heuristic; it produces both true matches and the
+data-drift false candidates described in Section 3.3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
+from repro.datagen.identifiers import SECURITY_ID_FIELDS
+from repro.datagen.records import CompanyRecord, Dataset, SecurityRecord
+from repro.text.normalize import normalize_identifier
+
+
+class IdOverlapBlocking(Blocking):
+    """Candidate pairs based exclusively on identifier attribute overlap."""
+
+    name = "id_overlap"
+
+    def __init__(self, cross_source_only: bool = True) -> None:
+        #: When true (the default), only pairs from different data sources are
+        #: produced — within one source identifiers are assumed to be unique.
+        self.cross_source_only = cross_source_only
+
+    def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
+        index: dict[str, list[str]] = defaultdict(list)
+        for record in dataset:
+            for value in self._identifier_values(record):
+                index[value].append(record.record_id)
+
+        pairs: list[CandidatePair] = []
+        for record_ids in index.values():
+            if len(record_ids) < 2:
+                continue
+            for i, left_id in enumerate(record_ids):
+                left = dataset.record(left_id)
+                for right_id in record_ids[i + 1:]:
+                    if left_id == right_id:
+                        continue
+                    right = dataset.record(right_id)
+                    if self.cross_source_only and left.source == right.source:
+                        continue
+                    pairs.append(self._make_pair(left_id, right_id))
+        return dedupe_pairs(pairs)
+
+    @staticmethod
+    def _identifier_values(record) -> list[str]:
+        values: list[str] = []
+        if isinstance(record, SecurityRecord):
+            for field in SECURITY_ID_FIELDS:
+                normalized = normalize_identifier(getattr(record, field))
+                if normalized:
+                    # Prefix with the field name so an ISIN can never collide
+                    # with a CUSIP that happens to share characters.
+                    values.append(f"{field}:{normalized}")
+        elif isinstance(record, CompanyRecord):
+            for isin in record.security_isins:
+                normalized = normalize_identifier(isin)
+                if normalized:
+                    values.append(f"isin:{normalized}")
+        return values

@@ -1,0 +1,83 @@
+"""Issuer Match blocking (securities only).
+
+"For each security record, consider as candidate pairs those involving all
+other securities issued by companies previously matched to the security's
+issuer" (Section 5.3.1).  The blocking therefore needs the *result of the
+company matching*: a mapping from company record id to its matched company
+group.  Securities whose issuers landed in the same company group become
+candidates even when they share no identifiers and have generic names.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+
+from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
+from repro.datagen.records import Dataset, SecurityRecord
+
+
+class IssuerMatchBlocking(Blocking):
+    """Candidates among securities whose issuers were matched together."""
+
+    name = "issuer_match"
+
+    def __init__(
+        self,
+        issuer_groups: Iterable[Iterable[str]] | None = None,
+        issuer_group_of: Mapping[str, int] | None = None,
+        cross_source_only: bool = True,
+    ) -> None:
+        """Either ``issuer_groups`` (an iterable of company-record-id groups,
+        e.g. the output of the company pipeline) or a prebuilt
+        ``issuer_group_of`` mapping must be provided."""
+        if issuer_groups is None and issuer_group_of is None:
+            raise ValueError("issuer_groups or issuer_group_of is required")
+        if issuer_group_of is not None:
+            self._group_of: dict[str, int] = dict(issuer_group_of)
+        else:
+            self._group_of = {}
+            for group_index, group in enumerate(issuer_groups or ()):
+                for company_record_id in group:
+                    self._group_of[company_record_id] = group_index
+        self.cross_source_only = cross_source_only
+
+    def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
+        securities_by_group: dict[int, list[SecurityRecord]] = defaultdict(list)
+        for record in dataset:
+            if not isinstance(record, SecurityRecord):
+                continue
+            if record.issuer_record_id is None:
+                continue
+            group = self._group_of.get(record.issuer_record_id)
+            if group is None:
+                continue
+            securities_by_group[group].append(record)
+
+        pairs: list[CandidatePair] = []
+        for securities in securities_by_group.values():
+            if len(securities) < 2:
+                continue
+            for i, left in enumerate(securities):
+                for right in securities[i + 1:]:
+                    if self.cross_source_only and left.source == right.source:
+                        continue
+                    pairs.append(self._make_pair(left, right))
+        return dedupe_pairs(pairs)
+
+    @classmethod
+    def from_company_groups(
+        cls, company_groups: Iterable[Iterable[str]], cross_source_only: bool = True
+    ) -> "IssuerMatchBlocking":
+        """Build the blocking from the output groups of the company pipeline."""
+        return cls(issuer_groups=company_groups, cross_source_only=cross_source_only)
+
+    @classmethod
+    def from_ground_truth(cls, companies: Dataset) -> "IssuerMatchBlocking":
+        """Build the blocking from the companies' ground-truth groups.
+
+        Useful for tests and for upper-bound ("oracle issuer matching")
+        ablations; the real pipeline uses :meth:`from_company_groups` with
+        predicted groups.
+        """
+        return cls(issuer_groups=companies.entity_groups().values())

@@ -1,0 +1,98 @@
+"""Token Overlap blocking.
+
+"Considers each record as the list of tokens resulting from its tokenization
+and selects as candidate pairs those involving the record and the top-n
+records with most overlapping tokens across different data sources"
+(Section 5.3.1).
+
+The implementation builds an inverted token index over the records' textual
+attributes, scores co-occurring records by the number of shared tokens
+(weighted by inverse token frequency so that ubiquitous corporate terms do
+not dominate) and keeps the top-n per record.  This is the blocking that
+creates the hard look-alike candidates (Crowdstrike vs Crowdstreet) that the
+GraLMatch clean-up later has to deal with.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+
+from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
+from repro.datagen.records import Dataset, Record
+from repro.text.tokenize import word_tokenize
+
+
+class TokenOverlapBlocking(Blocking):
+    """Top-n most token-overlapping records across different sources."""
+
+    name = "token_overlap"
+
+    def __init__(
+        self,
+        top_n: int = 5,
+        attributes: tuple[str, ...] = ("name", "title"),
+        min_token_length: int = 2,
+        max_token_frequency: float = 0.25,
+    ) -> None:
+        if top_n < 1:
+            raise ValueError("top_n must be at least 1")
+        if not 0.0 < max_token_frequency <= 1.0:
+            raise ValueError("max_token_frequency must be in (0, 1]")
+        self.top_n = top_n
+        self.attributes = attributes
+        self.min_token_length = min_token_length
+        #: Tokens appearing in more than this share of records are ignored —
+        #: they would otherwise produce quadratic blow-ups ("inc", "corp").
+        self.max_token_frequency = max_token_frequency
+
+    def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
+        record_tokens = {
+            record.record_id: self._tokens(record) for record in dataset
+        }
+        num_records = max(len(record_tokens), 1)
+
+        document_frequency: Counter[str] = Counter()
+        for tokens in record_tokens.values():
+            document_frequency.update(tokens)
+
+        frequency_cutoff = self.max_token_frequency * num_records
+        token_index: dict[str, list[str]] = defaultdict(list)
+        for record_id, tokens in record_tokens.items():
+            for token in tokens:
+                if document_frequency[token] <= frequency_cutoff:
+                    token_index[token].append(record_id)
+
+        sources = {record.record_id: record.source for record in dataset}
+
+        pairs: list[CandidatePair] = []
+        for record_id, tokens in record_tokens.items():
+            scores: dict[str, float] = defaultdict(float)
+            for token in tokens:
+                candidates = token_index.get(token, ())
+                if not candidates:
+                    continue
+                weight = 1.0 + math.log(num_records / document_frequency[token])
+                for other_id in candidates:
+                    if other_id == record_id:
+                        continue
+                    if sources[other_id] == sources[record_id]:
+                        continue
+                    scores[other_id] += weight
+            best = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[: self.top_n]
+            for other_id, _ in best:
+                pairs.append(self._make_pair(record_id, other_id))
+        return dedupe_pairs(pairs)
+
+    def _tokens(self, record: Record) -> set[str]:
+        tokens: set[str] = set()
+        for attribute in self.attributes:
+            value = getattr(record, attribute, None)
+            if not value:
+                continue
+            tokens.update(
+                token
+                for token in word_tokenize(str(value))
+                if len(token) >= self.min_token_length
+            )
+        return tokens

@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+A small operational front-end over the library, mirroring what the paper's
+accompanying code exposes:
+
+* ``repro generate`` — generate the synthetic companies / securities
+  benchmark (optionally the WDC-Products-style dataset) and write CSVs,
+* ``repro stats`` — print the Table 1 statistics of a dataset CSV,
+* ``repro match`` — run the end-to-end entity group matching experiment on a
+  generated dataset and print the three-stage scores (a Table 4 row).
+
+Installed as ``repro`` (see ``pyproject.toml``) or runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.datagen import GenerationConfig, dataset_statistics, generate_benchmark
+from repro.datagen.io import read_dataset_csv, write_dataset_csv
+from repro.datagen.wdc import WdcConfig, generate_wdc_products
+from repro.evaluation import format_table
+from repro.evaluation.experiment import EntityGroupMatchingExperiment, ExperimentConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraLMatch reproduction: entity group matching tooling",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate the synthetic multi-source benchmark datasets"
+    )
+    generate.add_argument("--entities", type=int, default=1_000,
+                          help="number of company record groups to generate")
+    generate.add_argument("--sources", type=int, default=5,
+                          help="number of data sources")
+    generate.add_argument("--seed", type=int, default=0, help="generation seed")
+    generate.add_argument("--wdc", action="store_true",
+                          help="also generate the WDC-Products-style dataset")
+    generate.add_argument("--output-dir", type=Path, default=Path("data"),
+                          help="directory the CSV files are written to")
+
+    stats = subparsers.add_parser(
+        "stats", help="print Table 1 statistics for a dataset CSV"
+    )
+    stats.add_argument("dataset", type=Path, help="path to a dataset CSV")
+
+    match = subparsers.add_parser(
+        "match", help="run the end-to-end entity group matching experiment"
+    )
+    match.add_argument("dataset", type=Path, help="path to a dataset CSV")
+    match.add_argument("--kind", choices=["companies", "securities", "products"],
+                       default="companies", help="dataset kind (selects the blocking recipe)")
+    match.add_argument("--model", default="distilbert-128-all",
+                       help="model spec name (see repro.matching.models.MODEL_SPECS)")
+    match.add_argument("--epochs", type=int, default=3, help="fine-tuning epochs")
+    match.add_argument("--seed", type=int, default=0, help="split / sampling seed")
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    config = GenerationConfig(
+        num_entities=args.entities, num_sources=args.sources, seed=args.seed
+    )
+    benchmark = generate_benchmark(config)
+    output_dir = args.output_dir
+    companies_path = write_dataset_csv(benchmark.companies, output_dir / "companies.csv")
+    securities_path = write_dataset_csv(benchmark.securities, output_dir / "securities.csv")
+    print(f"wrote {len(benchmark.companies)} company records to {companies_path}")
+    print(f"wrote {len(benchmark.securities)} security records to {securities_path}")
+    if args.wdc:
+        wdc = generate_wdc_products(WdcConfig(num_entities=max(args.entities // 2, 10),
+                                              seed=args.seed))
+        wdc_path = write_dataset_csv(wdc, output_dir / "wdc_products.csv")
+        print(f"wrote {len(wdc)} product records to {wdc_path}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    if not args.dataset.exists():
+        print(f"error: dataset file not found: {args.dataset}", file=sys.stderr)
+        return 2
+    dataset = read_dataset_csv(args.dataset)
+    row = dataset_statistics(dataset).as_row()
+    print(format_table([row], title=f"Dataset statistics — {dataset.name}"))
+    return 0
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    if not args.dataset.exists():
+        print(f"error: dataset file not found: {args.dataset}", file=sys.stderr)
+        return 2
+    dataset = read_dataset_csv(args.dataset)
+    config = ExperimentConfig(
+        model=args.model,
+        dataset_kind=args.kind,
+        num_epochs=args.epochs,
+        seed=args.seed,
+    )
+    experiment = EntityGroupMatchingExperiment(dataset, config)
+    result = experiment.run()
+    print(format_table([result.as_row()], title="Entity group matching result"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "stats": _command_stats,
+    "match": _command_match,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,465 @@
+"""Data artifacts: rule-based perturbations of record groups.
+
+Section 3.2 of the paper lists the artifact families applied to the seed
+records to recreate the matching challenges of the real financial data.
+Each artifact here mutates a :class:`~repro.datagen.drafts.CompanyGroupDraft`
+in place (or a pair of drafts for the cross-group acquisition / merger
+events).  Artifacts are deliberately small and composable: the generator
+draws a random combination per group and applies them sequentially.
+
+Company artifacts
+-----------------
+* :class:`AcronymName` — swap the name for its acronym in some sources.
+* :class:`InsertCorporateTerm` — insert a corporate suffix term in the name.
+* :class:`ReorderNameTokens` — "Crowdstrike Holdings" → "Holdings Crowdstrike".
+* :class:`TypoName` — character-level noise in the name.
+* :class:`ParaphraseAttribute` — rule-based paraphrase of the description
+  (the Pegasus substitute, see DESIGN.md substitution 5).
+* :class:`DropAttributes` — blank out attributes in some sources.
+* :class:`CreateCorporateAcquisition` — cross-group: acquiree records in some
+  sources are overwritten with the acquirer's attributes; all records of both
+  groups become one ground-truth group.
+* :class:`CreateCorporateMerger` — cross-group: identifier cross-
+  contamination without a ground-truth match.
+
+Security artifacts
+------------------
+* :class:`MultipleIDs` — extra identifier bundles assigned inconsistently.
+* :class:`NoIdOverlaps` — wipe identifier overlaps inside a group.
+* :class:`MultipleSecurities` — add securities of other types to the issuer.
+* :class:`CorruptIdentifier` — single-character identifier typos.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from abc import ABC, abstractmethod
+
+from repro.datagen import vocab
+from repro.datagen.drafts import CompanyGroupDraft, SecurityDraft
+from repro.datagen.identifiers import (
+    SECURITY_ID_FIELDS,
+    corrupt_identifier,
+    make_security_identifiers,
+    make_ticker,
+)
+from repro.text.normalize import acronym_of
+
+
+class DataArtifact(ABC):
+    """Base class for single-group data artifacts."""
+
+    #: Human-readable artifact name recorded on the draft for provenance.
+    name: str = "artifact"
+
+    @abstractmethod
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        """Mutate ``draft`` in place."""
+
+    def _sample_sources(
+        self, draft: CompanyGroupDraft, rng: random.Random, minimum: int = 1
+    ) -> list[str]:
+        """Pick a random non-empty strict subset of the group's sources.
+
+        Applying an artifact to *some but not all* sources is what creates
+        the cross-source inconsistency that makes matching hard; applying it
+        everywhere would merely rename the entity.
+        """
+        sources = draft.sources()
+        if len(sources) <= 1:
+            return list(sources)
+        upper = max(minimum, len(sources) - 1)
+        count = rng.randint(minimum, upper)
+        return rng.sample(sources, count)
+
+
+class PairArtifact(ABC):
+    """Base class for cross-group (two-draft) artifacts."""
+
+    name: str = "pair-artifact"
+
+    @abstractmethod
+    def apply_pair(
+        self,
+        primary: CompanyGroupDraft,
+        secondary: CompanyGroupDraft,
+        rng: random.Random,
+    ) -> None:
+        """Mutate both drafts in place."""
+
+
+# ---------------------------------------------------------------------------
+# Company artifacts
+# ---------------------------------------------------------------------------
+
+
+class AcronymName(DataArtifact):
+    """Swap a company name with its acronym in a subset of sources."""
+
+    name = "AcronymName"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        acronym = acronym_of(draft.seed.name).upper()
+        if len(acronym) < 2:
+            return
+        for source in self._sample_sources(draft, rng):
+            draft.company_records[source]["name"] = acronym
+        draft.mark(self.name)
+
+
+class InsertCorporateTerm(DataArtifact):
+    """Insert a corporate term (Inc. / Limited / Corp …) into the name."""
+
+    name = "InsertCorporateTerm"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        term = rng.choice(vocab.CORPORATE_SUFFIXES)
+        for source in self._sample_sources(draft, rng):
+            record = draft.company_records[source]
+            current = str(record.get("name") or draft.seed.name)
+            if term.lower().rstrip(".") in current.lower():
+                continue
+            record["name"] = f"{current} {term}"
+        draft.mark(self.name)
+
+
+class ReorderNameTokens(DataArtifact):
+    """Reorder the tokens of a multi-word name in a subset of sources."""
+
+    name = "ReorderNameTokens"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        for source in self._sample_sources(draft, rng):
+            record = draft.company_records[source]
+            tokens = str(record.get("name") or "").split()
+            if len(tokens) < 2:
+                continue
+            rotated = tokens[1:] + tokens[:1]
+            record["name"] = " ".join(rotated)
+        draft.mark(self.name)
+
+
+class TypoName(DataArtifact):
+    """Introduce a single character typo into the name in one source."""
+
+    name = "TypoName"
+
+    _OPERATIONS = ("swap", "drop", "duplicate")
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        sources = self._sample_sources(draft, rng)
+        if not sources:
+            return
+        source = rng.choice(sources)
+        record = draft.company_records[source]
+        name = str(record.get("name") or "")
+        if len(name) < 4:
+            return
+        position = rng.randrange(1, len(name) - 1)
+        operation = rng.choice(self._OPERATIONS)
+        if operation == "swap":
+            mutated = (
+                name[:position]
+                + name[position + 1]
+                + name[position]
+                + name[position + 2:]
+            )
+        elif operation == "drop":
+            mutated = name[:position] + name[position + 1:]
+        else:
+            mutated = name[:position] + name[position] + name[position:]
+        record["name"] = mutated
+        draft.mark(self.name)
+
+
+class ParaphraseAttribute(DataArtifact):
+    """Paraphrase the description via synonym substitution and truncation.
+
+    Stand-in for the Pegasus summarisation model used by the paper (see
+    DESIGN.md).  The effect that matters downstream is identical: matching
+    records stop sharing description tokens verbatim.
+    """
+
+    name = "ParaphraseAttribute"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        for source in self._sample_sources(draft, rng):
+            record = draft.company_records[source]
+            description = str(record.get("description") or "")
+            if not description:
+                continue
+            record["description"] = self.paraphrase(description, rng)
+        draft.mark(self.name)
+
+    @staticmethod
+    def paraphrase(text: str, rng: random.Random) -> str:
+        words = text.split()
+        rewritten: list[str] = []
+        for word in words:
+            bare = re.sub(r"[^\w-]", "", word).lower()
+            replacement = vocab.PARAPHRASE_SYNONYMS.get(bare)
+            if replacement and rng.random() < 0.8:
+                rewritten.append(replacement)
+            else:
+                rewritten.append(word)
+        # Occasionally summarise by dropping a trailing clause.
+        if len(rewritten) > 8 and rng.random() < 0.5:
+            rewritten = rewritten[: rng.randint(6, len(rewritten) - 2)]
+        return " ".join(rewritten)
+
+
+class DropAttributes(DataArtifact):
+    """Blank out optional attributes in a subset of sources (missing data)."""
+
+    name = "DropAttributes"
+
+    _DROPPABLE = ("city", "region", "country_code", "description", "industry")
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        for source in self._sample_sources(draft, rng):
+            record = draft.company_records[source]
+            to_drop = rng.sample(self._DROPPABLE, rng.randint(1, 3))
+            for attribute in to_drop:
+                record[attribute] = None
+        draft.mark(self.name)
+
+
+# ---------------------------------------------------------------------------
+# Cross-group events (data drift)
+# ---------------------------------------------------------------------------
+
+
+class CreateCorporateAcquisition(PairArtifact):
+    """Simulate an acquisition: the acquirer absorbs the acquiree.
+
+    In the data sources that *recorded* the event, the acquiree's records are
+    overwritten with the acquirer's name and identifiers; sources that missed
+    the event keep the stale attributes.  Following the paper, **all** records
+    of both groups are true matches afterwards, so the acquiree draft's
+    entity id is rewritten to the acquirer's.  The stale records can then
+    only be matched transitively, via the overwritten records.
+    """
+
+    name = "CreateCorporateAcquisition"
+
+    def apply_pair(
+        self,
+        primary: CompanyGroupDraft,
+        secondary: CompanyGroupDraft,
+        rng: random.Random,
+    ) -> None:
+        acquirer, acquiree = primary, secondary
+        acquiree.acquired_by = acquirer.entity_id
+        acquiree.entity_id = acquirer.entity_id
+
+        updated_sources = [
+            source for source in acquiree.sources() if rng.random() < 0.6
+        ]
+        if not updated_sources and acquiree.sources():
+            updated_sources = [rng.choice(acquiree.sources())]
+
+        for source in updated_sources:
+            record = acquiree.company_records[source]
+            record["name"] = acquirer.seed.name
+            record["city"] = acquirer.seed.city
+            record["region"] = acquirer.seed.region
+            record["country_code"] = acquirer.seed.country_code
+
+        # The acquiree's securities are re-issued under the acquirer: in the
+        # sources that recorded the event, identifiers are overwritten with
+        # those of one of the acquirer's securities.  Following the paper,
+        # every record involved in the acquisition is a true match, so the
+        # acquiree's securities join the acquirer security's ground-truth
+        # group; the stale records (sources that missed the event) keep old
+        # names and identifiers and are only reachable transitively.
+        if acquirer.securities and acquiree.securities:
+            acquirer_security = rng.choice(acquirer.securities)
+            for security in acquiree.securities:
+                security.entity_id = acquirer_security.entity_id
+                security_updated = [
+                    source for source in security.sources() if source in updated_sources
+                ]
+                for source in security_updated:
+                    record = security.records[source]
+                    for field_name in SECURITY_ID_FIELDS:
+                        record[field_name] = acquirer_security.identifiers.get(field_name)
+                    record["issuer_name"] = acquirer.seed.name
+
+        acquirer.mark(self.name)
+        acquiree.mark(self.name)
+
+
+class CreateCorporateMerger(PairArtifact):
+    """Simulate a merger: identifier cross-contamination without a match.
+
+    A new merged entity is created in the real world, but per the paper no
+    records are deleted and the original companies' records are *not*
+    considered matches.  Some sources overwrite identifiers of one partner
+    with those of the other, which later produces ID-overlap candidate pairs
+    that are **not** true matches — the hard negatives of the ID blocking.
+    """
+
+    name = "CreateCorporateMerger"
+
+    def apply_pair(
+        self,
+        primary: CompanyGroupDraft,
+        secondary: CompanyGroupDraft,
+        rng: random.Random,
+    ) -> None:
+        primary.merged_with = secondary.entity_id
+        secondary.merged_with = primary.entity_id
+
+        if primary.securities and secondary.securities:
+            donor_security = rng.choice(primary.securities)
+            receiver_security = rng.choice(secondary.securities)
+            contaminated_sources = [
+                source
+                for source in receiver_security.sources()
+                if rng.random() < 0.5
+            ]
+            if not contaminated_sources and receiver_security.sources():
+                contaminated_sources = [rng.choice(receiver_security.sources())]
+            for source in contaminated_sources:
+                record = receiver_security.records[source]
+                overwritten = rng.sample(
+                    SECURITY_ID_FIELDS, rng.randint(1, len(SECURITY_ID_FIELDS))
+                )
+                for field_name in overwritten:
+                    record[field_name] = donor_security.identifiers.get(field_name)
+
+        primary.mark(self.name)
+        secondary.mark(self.name)
+
+
+# ---------------------------------------------------------------------------
+# Security artifacts
+# ---------------------------------------------------------------------------
+
+
+class MultipleIDs(DataArtifact):
+    """Create new identifiers and assign them to some records of a security.
+
+    Afterwards the group's records carry two (partially overlapping)
+    identifier bundles, so naive exact-ID matching splits the group.
+    """
+
+    name = "MultipleIDs"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        if not draft.securities:
+            return
+        security = rng.choice(draft.securities)
+        alternative = make_security_identifiers(rng)
+        sources = security.sources()
+        if len(sources) < 2:
+            return
+        switched = rng.sample(sources, rng.randint(1, len(sources) - 1))
+        fields_to_switch = rng.sample(
+            SECURITY_ID_FIELDS, rng.randint(1, len(SECURITY_ID_FIELDS))
+        )
+        for source in switched:
+            record = security.records[source]
+            for field_name in fields_to_switch:
+                record[field_name] = alternative[field_name]
+        draft.mark(self.name)
+
+
+class NoIdOverlaps(DataArtifact):
+    """Wipe all identifier overlaps among the records of a security group.
+
+    Every record receives a fresh, unique identifier bundle, so the group can
+    only be matched through its issuer (Issuer Match blocking) or its textual
+    attributes.
+    """
+
+    name = "NoIdOverlaps"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        if not draft.securities:
+            return
+        security = rng.choice(draft.securities)
+        for source in security.sources():
+            fresh = make_security_identifiers(rng)
+            record = security.records[source]
+            for field_name in SECURITY_ID_FIELDS:
+                record[field_name] = fresh[field_name]
+        draft.mark(self.name)
+
+
+class MultipleSecurities(DataArtifact):
+    """Add new securities of different types (rights, bonds, units …)."""
+
+    name = "MultipleSecurities"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        if not draft.company_records:
+            return
+        extra_types = [t for t in vocab.SECURITY_TYPES if t != "common stock"]
+        security_type = rng.choice(extra_types)
+        identifiers = make_security_identifiers(rng)
+        entity_suffix = len(draft.securities)
+        security = SecurityDraft(
+            entity_id=f"{draft.entity_id}-SEC{entity_suffix}",
+            name=f"{draft.seed.name} {security_type}",
+            security_type=security_type,
+            identifiers=identifiers,
+            ticker=make_ticker(rng, draft.seed.name),
+        )
+        # The new security is listed in a subset of the company's sources.
+        sources = draft.sources()
+        listed = rng.sample(sources, rng.randint(1, len(sources)))
+        for source in listed:
+            security.records[source] = {
+                "name": security.name,
+                "security_type": security.security_type,
+                "issuer_name": draft.company_records[source].get("name", draft.seed.name),
+                "ticker": security.ticker,
+                **identifiers,
+            }
+        draft.securities.append(security)
+        draft.mark(self.name)
+
+
+class CorruptIdentifier(DataArtifact):
+    """Introduce a one-character typo into one identifier of one record."""
+
+    name = "CorruptIdentifier"
+
+    def apply(self, draft: CompanyGroupDraft, rng: random.Random) -> None:
+        if not draft.securities:
+            return
+        security = rng.choice(draft.securities)
+        sources = security.sources()
+        if not sources:
+            return
+        source = rng.choice(sources)
+        record = security.records[source]
+        field_name = rng.choice(SECURITY_ID_FIELDS)
+        value = record.get(field_name)
+        if not value:
+            return
+        record[field_name] = corrupt_identifier(rng, str(value))
+        draft.mark(self.name)
+
+
+#: Default single-group artifacts with their per-group application
+#: probabilities, calibrated (like the paper's) so that a good share of the
+#: groups remains matchable by identifiers while a substantial minority needs
+#: text alignment or transitive information.
+DEFAULT_COMPANY_ARTIFACTS: tuple[tuple[DataArtifact, float], ...] = (
+    (InsertCorporateTerm(), 0.45),
+    (AcronymName(), 0.10),
+    (ReorderNameTokens(), 0.10),
+    (TypoName(), 0.15),
+    (ParaphraseAttribute(), 0.30),
+    (DropAttributes(), 0.35),
+)
+
+DEFAULT_SECURITY_ARTIFACTS: tuple[tuple[DataArtifact, float], ...] = (
+    (MultipleSecurities(), 0.25),
+    (MultipleIDs(), 0.15),
+    (NoIdOverlaps(), 0.10),
+    (CorruptIdentifier(), 0.08),
+)

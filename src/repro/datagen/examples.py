@@ -1,0 +1,208 @@
+"""The small worked example of Figure 2.
+
+Figure 2 of the paper shows companies and securities records from four data
+sources illustrating the matching challenges: naming variations
+(Crowdstrike Plt. / Crowd Strike Platforms / Crowdstrike Holdings), look-alike
+non-matches (Crowdstreet), a merger (lastminute.com / Travix) where
+identifiers were overwritten without the records being matches, and an
+acquisition (Herotel / Hearst) where records are matches but only reachable
+transitively.
+
+This module reconstructs that example as a pair of :class:`Dataset` objects;
+it is used by the documentation example, by the Figure 3 / Figure 4 benches
+and by integration tests because every interesting phenomenon appears in it
+at minimum size.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.records import CompanyRecord, Dataset, SecurityRecord
+
+
+def figure2_dataset() -> tuple[Dataset, Dataset]:
+    """Return the (companies, securities) datasets of the Figure 2 example."""
+    companies = [
+        # Entity: lastminute.com (merged with Travix -> NOT a match with #42)
+        CompanyRecord(
+            record_id="#10", source="S1", entity_id="lastminute",
+            name="lastminute.com", city="Amsterdam", country_code="NLD",
+            description="Online travel and leisure retailer",
+            security_isins=("NL0010733960",),
+        ),
+        CompanyRecord(
+            record_id="#20", source="S2", entity_id="lastminute",
+            name="Lastminute com NV", city="Amsterdam", country_code="NLD",
+            description=None,
+            security_isins=(),
+        ),
+        CompanyRecord(
+            record_id="#30", source="S3", entity_id="lastminute",
+            name="lastminute.com N.V.", city="Amsterdam", country_code="NLD",
+            description="Travel booking platform",
+            # Merger contamination: carries a Travix identifier.
+            security_isins=("NL0010733960", "NL00TRAVIX01"),
+        ),
+        CompanyRecord(
+            record_id="#42", source="S4", entity_id="travix",
+            name="Travix International", city="Amsterdam", country_code="NLD",
+            description="Online travel agency operating booking sites",
+            security_isins=("NL00TRAVIX01",),
+        ),
+        # Entity: Herotel (acquired by Hearst -> all records match)
+        CompanyRecord(
+            record_id="#11", source="S1", entity_id="hearst",
+            name="Herotel", city="Cape Town", country_code="ZAF",
+            description="Wireless internet service provider",
+            security_isins=("ZAE000HERO11",),
+        ),
+        CompanyRecord(
+            record_id="#21", source="S2", entity_id="hearst",
+            name="Herotel Ltd", city="Cape Town", country_code="ZAF",
+            description=None,
+            # Acquisition recorded: carries the acquirer's ISIN.
+            security_isins=("US4434101012",),
+        ),
+        CompanyRecord(
+            record_id="#33", source="S3", entity_id="hearst",
+            name="Hearst Communications", city="New York", country_code="USA",
+            description="Diversified media information and services company",
+            security_isins=("US4434101012",),
+        ),
+        CompanyRecord(
+            record_id="#41", source="S4", entity_id="hearst",
+            name="Hearst Corp", city="New York", country_code="USA",
+            description="Media conglomerate",
+            security_isins=("US4434101012",),
+        ),
+        # Entity: Crowdstrike (naming variations across sources)
+        CompanyRecord(
+            record_id="#12", source="S1", entity_id="crowdstrike",
+            name="Crowdstrike Plt.", city="Austin", country_code="USA",
+            description="Cloud-delivered endpoint protection platform",
+            security_isins=("US31807756E0",),
+        ),
+        CompanyRecord(
+            record_id="#22", source="S2", entity_id="crowdstrike",
+            name="Crowd Strike Platforms", city="Austin", country_code="USA",
+            description=None,
+            security_isins=("US318077DSIE",),
+        ),
+        CompanyRecord(
+            record_id="#31", source="S3", entity_id="crowdstrike",
+            name="Crowdstrike Holdings", city="Austin", country_code="USA",
+            description="Cybersecurity technology company",
+            security_isins=("US31807756E0",),
+        ),
+        CompanyRecord(
+            record_id="#40", source="S4", entity_id="crowdstrike",
+            name="CrowdStrike Holdings Inc", city="Austin", country_code="USA",
+            description="Provider of cloud workload and endpoint security",
+            security_isins=("US318077DSIE",),
+        ),
+        # Entity: Crowdstreet (the look-alike non-match)
+        CompanyRecord(
+            record_id="#13", source="S1", entity_id="crowdstreet",
+            name="Crowdstreet", city="Austin", country_code="USA",
+            description="Online commercial real estate investing marketplace",
+            security_isins=("US22888CRWD1",),
+        ),
+        CompanyRecord(
+            record_id="#23", source="S2", entity_id="crowdstreet",
+            name="CrowdStreet Inc", city="Austin", country_code="USA",
+            description=None,
+            security_isins=("US22888CRWD1",),
+        ),
+        CompanyRecord(
+            record_id="#32", source="S3", entity_id="crowdstreet",
+            name="Crowd Street", city="Austin", country_code="USA",
+            description="Real estate investment platform",
+            security_isins=("US22888CRWD1",),
+        ),
+    ]
+
+    securities = [
+        # Crowdstrike securities: two listings with different ISINs.
+        SecurityRecord(
+            record_id="#S12", source="S1", entity_id="crowdstrike-cs",
+            name="Crowdstrike common stock", security_type="common stock",
+            issuer_name="Crowdstrike Plt.", issuer_record_id="#12",
+            issuer_entity_id="crowdstrike", isin="US31807756E0", ticker="CRWD",
+        ),
+        SecurityRecord(
+            record_id="#S31", source="S3", entity_id="crowdstrike-cs",
+            name="Crowdstrike Holdings Class A", security_type="common stock",
+            issuer_name="Crowdstrike Holdings", issuer_record_id="#31",
+            issuer_entity_id="crowdstrike", isin="US31807756E0", ticker="CRWD",
+        ),
+        SecurityRecord(
+            record_id="#S22", source="S2", entity_id="crowdstrike-cs",
+            name="Crowd Strike Platforms shares", security_type="common stock",
+            issuer_name="Crowd Strike Platforms", issuer_record_id="#22",
+            issuer_entity_id="crowdstrike", isin="US318077DSIE", ticker="CRWD",
+        ),
+        SecurityRecord(
+            record_id="#S40", source="S4", entity_id="crowdstrike-cs",
+            name="CrowdStrike Holdings Class A", security_type="common stock",
+            issuer_name="CrowdStrike Holdings Inc", issuer_record_id="#40",
+            issuer_entity_id="crowdstrike", isin="US318077DSIE", ticker="CRWD",
+        ),
+        # Crowdstreet security.
+        SecurityRecord(
+            record_id="#S13", source="S1", entity_id="crowdstreet-cs",
+            name="Crowdstreet common stock", security_type="common stock",
+            issuer_name="Crowdstreet", issuer_record_id="#13",
+            issuer_entity_id="crowdstreet", isin="US22888CRWD1", ticker="CRWS",
+        ),
+        SecurityRecord(
+            record_id="#S23", source="S2", entity_id="crowdstreet-cs",
+            name="CrowdStreet Inc shares", security_type="common stock",
+            issuer_name="CrowdStreet Inc", issuer_record_id="#23",
+            issuer_entity_id="crowdstreet", isin="US22888CRWD1", ticker="CRWS",
+        ),
+        # Herotel / Hearst securities: acquisition overwrote identifiers on #S21.
+        SecurityRecord(
+            record_id="#S11", source="S1", entity_id="hearst-cs",
+            name="Herotel ordinary shares", security_type="common stock",
+            issuer_name="Herotel", issuer_record_id="#11",
+            issuer_entity_id="hearst", isin="ZAE000HERO11", ticker="HTL",
+        ),
+        SecurityRecord(
+            record_id="#S21", source="S2", entity_id="hearst-cs",
+            name="Herotel Ltd shares", security_type="common stock",
+            issuer_name="Herotel Ltd", issuer_record_id="#21",
+            issuer_entity_id="hearst", isin="US4434101012", ticker="HTL",
+        ),
+        SecurityRecord(
+            record_id="#S33", source="S3", entity_id="hearst-cs",
+            name="Hearst Communications stock", security_type="common stock",
+            issuer_name="Hearst Communications", issuer_record_id="#33",
+            issuer_entity_id="hearst", isin="US4434101012", ticker="HRST",
+        ),
+        SecurityRecord(
+            record_id="#S41", source="S4", entity_id="hearst-cs",
+            name="Hearst Corp stock", security_type="common stock",
+            issuer_name="Hearst Corp", issuer_record_id="#41",
+            issuer_entity_id="hearst", isin="US4434101012", ticker="HRST",
+        ),
+        # lastminute.com / Travix securities: merger contamination on #S30.
+        SecurityRecord(
+            record_id="#S10", source="S1", entity_id="lastminute-cs",
+            name="lastminute.com ordinary shares", security_type="common stock",
+            issuer_name="lastminute.com", issuer_record_id="#10",
+            issuer_entity_id="lastminute", isin="NL0010733960", ticker="LMN",
+        ),
+        SecurityRecord(
+            record_id="#S30", source="S3", entity_id="lastminute-cs",
+            name="lastminute.com N.V. shares", security_type="common stock",
+            issuer_name="lastminute.com N.V.", issuer_record_id="#30",
+            issuer_entity_id="lastminute", isin="NL00TRAVIX01", ticker="LMN",
+        ),
+        SecurityRecord(
+            record_id="#S42", source="S4", entity_id="travix-cs",
+            name="Travix International shares", security_type="common stock",
+            issuer_name="Travix International", issuer_record_id="#42",
+            issuer_entity_id="travix", isin="NL00TRAVIX01", ticker="TRVX",
+        ),
+    ]
+
+    return Dataset("figure2-companies", companies), Dataset("figure2-securities", securities)

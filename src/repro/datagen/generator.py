@@ -1,0 +1,282 @@
+"""Multi-source synthetic benchmark generation.
+
+The generator turns the procedural seed corpus into the two matching tasks
+of the paper — a **companies** dataset and a **securities** dataset — with
+ground truth, by:
+
+1. expanding every seed company into per-source record drafts plus one or
+   more security drafts (each listed in a subset of the sources),
+2. applying per-source *baseline variation* (formatting differences that
+   exist even without artifacts),
+3. applying a random combination of single-group data artifacts to every
+   group, and cross-group acquisition / merger events to a sampled fraction,
+4. freezing the drafts into immutable records and wrapping them in
+   :class:`~repro.datagen.records.Dataset` objects.
+
+Generation is fully deterministic given the configuration (including its
+seed) and linear in the number of groups, as described in Section 3.2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.artifacts import (
+    DEFAULT_COMPANY_ARTIFACTS,
+    DEFAULT_SECURITY_ARTIFACTS,
+    CreateCorporateAcquisition,
+    CreateCorporateMerger,
+    DataArtifact,
+)
+from repro.datagen.config import GenerationConfig
+from repro.datagen.drafts import CompanyGroupDraft, SecurityDraft
+from repro.datagen.identifiers import make_security_identifiers, make_ticker
+from repro.datagen.records import CompanyRecord, Dataset, SecurityRecord
+from repro.datagen.seed import SeedCompany, iter_seed_companies
+
+
+@dataclass
+class GeneratedBenchmark:
+    """The output of one generation run."""
+
+    companies: Dataset
+    securities: Dataset
+    #: The frozen drafts, kept for statistics and debugging.
+    drafts: list[CompanyGroupDraft]
+    config: GenerationConfig
+
+
+class SyntheticDatasetGenerator:
+    """Generates the companies + securities benchmark for one configuration."""
+
+    def __init__(self, config: GenerationConfig | None = None) -> None:
+        self.config = config or GenerationConfig()
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self) -> GeneratedBenchmark:
+        """Run the full generation pipeline."""
+        rng = random.Random(self.config.seed)
+        drafts = [
+            self._draft_group(seed_company, rng)
+            for seed_company in iter_seed_companies(
+                self.config.num_entities,
+                seed=self.config.seed,
+                description_probability=self.config.description_probability,
+            )
+        ]
+        self._apply_single_group_artifacts(drafts, rng)
+        self._apply_cross_group_events(drafts, rng)
+        companies, securities = self._freeze(drafts)
+        return GeneratedBenchmark(
+            companies=companies,
+            securities=securities,
+            drafts=drafts,
+            config=self.config,
+        )
+
+    # -- stage 1: drafting -----------------------------------------------------
+
+    def _draft_group(self, seed_company: SeedCompany, rng: random.Random) -> CompanyGroupDraft:
+        config = self.config
+        entity_id = f"{config.id_prefix}-{seed_company.entity_id}"
+        num_sources = rng.randint(
+            config.min_sources_per_entity, config.max_sources_per_entity
+        )
+        sources = sorted(rng.sample(config.source_names, num_sources))
+
+        draft = CompanyGroupDraft(seed=seed_company, entity_id=entity_id)
+        for source in sources:
+            draft.company_records[source] = self._base_company_attributes(
+                seed_company, source, rng
+            )
+
+        draft.securities.append(
+            self._draft_security(seed_company, entity_id, 0, sources, rng)
+        )
+        if rng.random() < config.extra_listing_probability:
+            draft.securities.append(
+                self._draft_security(seed_company, entity_id, 1, sources, rng)
+            )
+        return draft
+
+    def _base_company_attributes(
+        self, seed_company: SeedCompany, source: str, rng: random.Random
+    ) -> dict[str, object]:
+        """Per-source formatting variation applied to every record."""
+        name = seed_company.name
+        style = rng.random()
+        if style < 0.15:
+            name = name.upper()
+        elif style < 0.25:
+            name = name.replace(" Corporation", " Corp").replace(" Incorporated", " Inc")
+        return {
+            "name": name,
+            "city": seed_company.city,
+            "region": seed_company.region,
+            "country_code": seed_company.country_code,
+            "description": seed_company.description or None,
+            "industry": seed_company.industry,
+        }
+
+    def _draft_security(
+        self,
+        seed_company: SeedCompany,
+        entity_id: str,
+        index: int,
+        company_sources: list[str],
+        rng: random.Random,
+    ) -> SecurityDraft:
+        identifiers = make_security_identifiers(rng)
+        ticker = make_ticker(rng, seed_company.name)
+        security_type = "common stock"
+        name = f"{seed_company.name} {security_type}" if index == 0 else (
+            f"{seed_company.name} registered shares"
+        )
+        security = SecurityDraft(
+            entity_id=f"{entity_id}-SEC{index}",
+            name=name,
+            security_type=security_type,
+            identifiers=identifiers,
+            ticker=ticker,
+        )
+        # The security is listed in most (but not necessarily all) of the
+        # sources carrying the company.
+        listed_count = rng.randint(max(1, len(company_sources) - 2), len(company_sources))
+        listed = sorted(rng.sample(company_sources, listed_count))
+        for source in listed:
+            security.records[source] = {
+                "name": name,
+                "security_type": security_type,
+                "issuer_name": seed_company.name,
+                "ticker": ticker,
+                **identifiers,
+            }
+        return security
+
+    # -- stage 2: artifacts ------------------------------------------------------
+
+    def _artifact_rate(self, artifact: DataArtifact, default: float, table: dict[str, float]) -> float:
+        return table.get(artifact.name, default)
+
+    def _apply_single_group_artifacts(
+        self, drafts: list[CompanyGroupDraft], rng: random.Random
+    ) -> None:
+        for draft in drafts:
+            for artifact, default_rate in DEFAULT_COMPANY_ARTIFACTS:
+                rate = self._artifact_rate(
+                    artifact, default_rate, self.config.company_artifact_rates
+                )
+                if rng.random() < rate:
+                    artifact.apply(draft, rng)
+            for artifact, default_rate in DEFAULT_SECURITY_ARTIFACTS:
+                rate = self._artifact_rate(
+                    artifact, default_rate, self.config.security_artifact_rates
+                )
+                if rng.random() < rate:
+                    artifact.apply(draft, rng)
+
+    def _apply_cross_group_events(
+        self, drafts: list[CompanyGroupDraft], rng: random.Random
+    ) -> None:
+        """Pair up groups for acquisition and merger events (disjointly)."""
+        if len(drafts) < 4:
+            return
+        num_acquisitions = int(len(drafts) * self.config.acquisition_rate / 2)
+        num_mergers = int(len(drafts) * self.config.merger_rate / 2)
+        needed = 2 * (num_acquisitions + num_mergers)
+        if needed == 0:
+            return
+        needed = min(needed, len(drafts) - len(drafts) % 2)
+        chosen = rng.sample(range(len(drafts)), needed)
+
+        acquisition = CreateCorporateAcquisition()
+        merger = CreateCorporateMerger()
+        cursor = 0
+        for _ in range(num_acquisitions):
+            if cursor + 1 >= len(chosen):
+                break
+            acquirer = drafts[chosen[cursor]]
+            acquiree = drafts[chosen[cursor + 1]]
+            acquisition.apply_pair(acquirer, acquiree, rng)
+            cursor += 2
+        for _ in range(num_mergers):
+            if cursor + 1 >= len(chosen):
+                break
+            first = drafts[chosen[cursor]]
+            second = drafts[chosen[cursor + 1]]
+            merger.apply_pair(first, second, rng)
+            cursor += 2
+
+    # -- stage 3: freezing ---------------------------------------------------------
+
+    def _freeze(self, drafts: list[CompanyGroupDraft]) -> tuple[Dataset, Dataset]:
+        company_records: list[CompanyRecord] = []
+        security_records: list[SecurityRecord] = []
+        record_counter = 0
+
+        for draft_index, draft in enumerate(drafts):
+            # Collect, per source, the ISINs of the draft's securities as that
+            # source records them (used by the company ID Overlap blocking).
+            isins_by_source: dict[str, list[str]] = {}
+            for security in draft.securities:
+                for source, attributes in security.records.items():
+                    isin = attributes.get("isin")
+                    if isin:
+                        isins_by_source.setdefault(source, []).append(str(isin))
+
+            company_ids_by_source: dict[str, str] = {}
+            for source, attributes in sorted(draft.company_records.items()):
+                record_id = f"{self.config.id_prefix}-C{draft_index:06d}-{source}"
+                company_ids_by_source[source] = record_id
+                company_records.append(
+                    CompanyRecord(
+                        record_id=record_id,
+                        source=source,
+                        entity_id=draft.entity_id,
+                        name=str(attributes.get("name") or ""),
+                        city=attributes.get("city"),
+                        region=attributes.get("region"),
+                        country_code=attributes.get("country_code"),
+                        description=attributes.get("description"),
+                        industry=attributes.get("industry"),
+                        security_isins=tuple(sorted(isins_by_source.get(source, []))),
+                    )
+                )
+                record_counter += 1
+
+            for security_index, security in enumerate(draft.securities):
+                for source, attributes in sorted(security.records.items()):
+                    record_id = (
+                        f"{self.config.id_prefix}-X{draft_index:06d}"
+                        f"-{security_index}-{source}"
+                    )
+                    security_records.append(
+                        SecurityRecord(
+                            record_id=record_id,
+                            source=source,
+                            entity_id=security.entity_id,
+                            name=str(attributes.get("name") or ""),
+                            security_type=str(attributes.get("security_type") or ""),
+                            issuer_name=attributes.get("issuer_name"),
+                            issuer_record_id=company_ids_by_source.get(source),
+                            issuer_entity_id=draft.entity_id,
+                            isin=attributes.get("isin"),
+                            cusip=attributes.get("cusip"),
+                            sedol=attributes.get("sedol"),
+                            valor=attributes.get("valor"),
+                            ticker=attributes.get("ticker"),
+                        )
+                    )
+                    record_counter += 1
+
+        prefix = self.config.id_prefix.lower()
+        companies = Dataset(f"{prefix}-companies", company_records)
+        securities = Dataset(f"{prefix}-securities", security_records)
+        return companies, securities
+
+
+def generate_benchmark(config: GenerationConfig | None = None) -> GeneratedBenchmark:
+    """Convenience wrapper: run :class:`SyntheticDatasetGenerator` once."""
+    return SyntheticDatasetGenerator(config).generate()

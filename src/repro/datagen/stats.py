@@ -1,0 +1,76 @@
+"""Dataset statistics (the quantities reported in Table 1).
+
+Table 1 of the paper summarises each dataset with the number of data
+sources, entities, records and ground-truth matches, the average number of
+matches per entity, and the share of records carrying a text description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.records import CompanyRecord, Dataset
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The Table 1 row for one dataset."""
+
+    name: str
+    num_sources: int
+    num_entities: int
+    num_records: int
+    num_matches: int
+    avg_matches_per_entity: float
+    pct_records_with_description: float | None
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary form used by the reporting module."""
+        return {
+            "dataset": self.name,
+            "# of Data Sources": self.num_sources,
+            "# of Entities": self.num_entities,
+            "# of Records": self.num_records,
+            "# of Matches": self.num_matches,
+            "Avg. # of Matches per Entity": round(self.avg_matches_per_entity, 2),
+            "% of Records with Text Descriptions": (
+                None
+                if self.pct_records_with_description is None
+                else round(self.pct_records_with_description, 1)
+            ),
+        }
+
+
+def dataset_statistics(dataset: Dataset) -> DatasetStatistics:
+    """Compute the Table 1 statistics for ``dataset``.
+
+    The match count follows the paper's convention: every unordered pair of
+    records belonging to the same entity is one match.  The description
+    share is only defined for company-style records (securities carry no
+    descriptions, reported as "-" in the paper).
+    """
+    groups = dataset.entity_groups()
+    num_entities = len(groups)
+    num_matches = sum(len(ids) * (len(ids) - 1) // 2 for ids in groups.values())
+    avg_matches = num_matches / num_entities if num_entities else 0.0
+
+    company_records = [
+        record for record in dataset if isinstance(record, CompanyRecord)
+    ]
+    if company_records:
+        with_description = sum(
+            1 for record in company_records if record.description
+        )
+        pct_description: float | None = 100.0 * with_description / len(company_records)
+    else:
+        pct_description = None
+
+    return DatasetStatistics(
+        name=dataset.name,
+        num_sources=len(dataset.sources),
+        num_entities=num_entities,
+        num_records=len(dataset),
+        num_matches=num_matches,
+        avg_matches_per_entity=avg_matches,
+        pct_records_with_description=pct_description,
+    )

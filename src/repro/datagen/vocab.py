@@ -1,0 +1,172 @@
+"""Word banks for the procedural seed-company corpus.
+
+The matching difficulty of the synthetic companies dataset comes largely from
+names that share common industry, technology and geographic terms ("hi-tech",
+"networks", "energy", "resources", geographical terms etc. — Section 6.2.1).
+The word banks below are designed so that generated names collide on such
+terms with realistic frequency, which is what produces hard negative
+candidate pairs under the Token Overlap blocking.
+"""
+
+from __future__ import annotations
+
+# Distinctive "brand" roots.  Some share long character sequences on purpose
+# (crowd/cloud/strike/street/stream …) to recreate the Crowdstrike vs
+# Crowdstreet style of false-positive pressure from Figure 2.
+BRAND_ROOTS: tuple[str, ...] = (
+    "Acme", "Aero", "Agri", "Alpha", "Apex", "Aqua", "Arbor", "Astra", "Atlas",
+    "Aurora", "Axion", "Beacon", "Bio", "Blue", "Bolt", "Bright", "Canyon",
+    "Cedar", "Centra", "Cipher", "Clear", "Cloud", "Cobalt", "Comet", "Core",
+    "Crest", "Crowd", "Crown", "Cyber", "Delta", "Digi", "Dyna", "Echo",
+    "Eco", "Edge", "Ember", "Epic", "Equi", "Ever", "Falcon", "Fern", "First",
+    "Flex", "Flux", "Forge", "Fort", "Fusion", "Gale", "Gamma", "Gen",
+    "Giga", "Gold", "Granite", "Green", "Grid", "Harbor", "Haven", "Helio",
+    "Hex", "Horizon", "Hydro", "Ion", "Iron", "Jade", "Jet", "Juno", "Keystone",
+    "Kinetic", "Lake", "Laser", "Ledger", "Lumen", "Luna", "Macro", "Magna",
+    "Maple", "Merid", "Meta", "Micro", "Mono", "Nano", "Nebula", "Neo",
+    "Nexus", "Nimbus", "Nova", "Oak", "Ocean", "Omega", "Onyx", "Opti",
+    "Orbit", "Orion", "Osprey", "Para", "Peak", "Pinnacle", "Pioneer",
+    "Pixel", "Polar", "Prime", "Prism", "Pulse", "Quant", "Quartz", "Radiant",
+    "Rapid", "Raven", "Ridge", "River", "Rock", "Royal", "Sage", "Sierra",
+    "Silver", "Sky", "Smart", "Solar", "Spark", "Spectra", "Sphere", "Star",
+    "Stellar", "Sterling", "Stone", "Stream", "Street", "Strike", "Summit",
+    "Swift", "Sync", "Terra", "Titan", "Torrent", "Trade", "Tri", "True",
+    "Turbo", "Ultra", "Umbra", "Union", "Unity", "Vanguard", "Vantage",
+    "Vector", "Velo", "Verde", "Vertex", "Vista", "Vital", "Volt", "Vortex",
+    "Wave", "West", "Willow", "Wind", "Wolf", "Zen", "Zenith", "Zephyr",
+)
+
+# Industry / technology terms that frequently appear in several names.
+INDUSTRY_TERMS: tuple[str, ...] = (
+    "Analytics", "Automation", "Bank", "Biotech", "Capital", "Chemicals",
+    "Commerce", "Communications", "Computing", "Consulting", "Data",
+    "Devices", "Diagnostics", "Digital", "Dynamics", "Energy", "Engineering",
+    "Finance", "Financial", "Foods", "Health", "Healthcare", "Industries",
+    "Informatics", "Instruments", "Insurance", "Labs", "Logistics", "Materials",
+    "Media", "Medical", "Mining", "Mobility", "Networks", "Payments", "Pharma",
+    "Platforms", "Power", "Properties", "Realty", "Resources", "Retail",
+    "Robotics", "Security", "Semiconductors", "Services", "Software",
+    "Systems", "Tech", "Technologies", "Telecom", "Therapeutics", "Transport",
+    "Utilities", "Ventures", "Works",
+)
+
+CORPORATE_SUFFIXES: tuple[str, ...] = (
+    "Inc", "Inc.", "Incorporated", "Corp", "Corp.", "Corporation", "Ltd",
+    "Ltd.", "Limited", "LLC", "PLC", "GmbH", "AG", "SA", "NV", "Co",
+    "Company", "Holdings", "Group",
+)
+
+CITIES: tuple[tuple[str, str, str], ...] = (
+    # (city, region, country_code)
+    ("New York", "New York", "USA"),
+    ("San Francisco", "California", "USA"),
+    ("Austin", "Texas", "USA"),
+    ("Boston", "Massachusetts", "USA"),
+    ("Seattle", "Washington", "USA"),
+    ("Chicago", "Illinois", "USA"),
+    ("Denver", "Colorado", "USA"),
+    ("Atlanta", "Georgia", "USA"),
+    ("Toronto", "Ontario", "CAN"),
+    ("Vancouver", "British Columbia", "CAN"),
+    ("London", "England", "GBR"),
+    ("Manchester", "England", "GBR"),
+    ("Edinburgh", "Scotland", "GBR"),
+    ("Dublin", "Leinster", "IRL"),
+    ("Paris", "Ile-de-France", "FRA"),
+    ("Lyon", "Auvergne-Rhone-Alpes", "FRA"),
+    ("Berlin", "Berlin", "DEU"),
+    ("Munich", "Bavaria", "DEU"),
+    ("Frankfurt", "Hesse", "DEU"),
+    ("Zurich", "Zurich", "CHE"),
+    ("Geneva", "Geneva", "CHE"),
+    ("Amsterdam", "North Holland", "NLD"),
+    ("Stockholm", "Stockholm", "SWE"),
+    ("Madrid", "Madrid", "ESP"),
+    ("Barcelona", "Catalonia", "ESP"),
+    ("Milan", "Lombardy", "ITA"),
+    ("Tokyo", "Tokyo", "JPN"),
+    ("Osaka", "Osaka", "JPN"),
+    ("Singapore", "Singapore", "SGP"),
+    ("Sydney", "New South Wales", "AUS"),
+    ("Melbourne", "Victoria", "AUS"),
+    ("Mumbai", "Maharashtra", "IND"),
+    ("Bangalore", "Karnataka", "IND"),
+    ("Sao Paulo", "Sao Paulo", "BRA"),
+    ("Tel Aviv", "Tel Aviv", "ISR"),
+    ("Copenhagen", "Capital Region", "DNK"),
+    ("Oslo", "Oslo", "NOR"),
+    ("Helsinki", "Uusimaa", "FIN"),
+    ("Vienna", "Vienna", "AUT"),
+    ("Brussels", "Brussels", "BEL"),
+)
+
+INDUSTRY_SECTORS: tuple[str, ...] = (
+    "Information Technology", "Health Care", "Financials", "Energy",
+    "Materials", "Industrials", "Consumer Discretionary", "Consumer Staples",
+    "Communication Services", "Utilities", "Real Estate",
+)
+
+DESCRIPTION_TEMPLATES: tuple[str, ...] = (
+    "{name} provides {offer} for {audience} in the {sector} sector.",
+    "{name} is a {adjective} provider of {offer} serving {audience}.",
+    "{name} develops {offer} that help {audience} {benefit}.",
+    "Based in {city}, {name} offers {offer} to {audience}.",
+    "{name} builds {adjective} {offer} for {audience} worldwide.",
+    "{name} operates a {adjective} platform delivering {offer} to {audience}.",
+)
+
+OFFERS: tuple[str, ...] = (
+    "cloud software", "data analytics tools", "payment solutions",
+    "logistics services", "renewable energy systems", "medical devices",
+    "cybersecurity platforms", "enterprise software", "mobile applications",
+    "financial services", "e-commerce infrastructure", "industrial equipment",
+    "biotech therapies", "insurance products", "real estate services",
+    "semiconductor components", "telecom infrastructure", "consulting services",
+    "robotics systems", "agricultural technology",
+)
+
+AUDIENCES: tuple[str, ...] = (
+    "small businesses", "large enterprises", "hospitals", "retailers", "banks",
+    "manufacturers", "consumers", "government agencies", "startups",
+    "utility companies", "logistics providers", "asset managers",
+)
+
+ADJECTIVES: tuple[str, ...] = (
+    "leading", "innovative", "global", "trusted", "fast-growing", "specialised",
+    "award-winning", "next-generation", "pioneering", "established",
+)
+
+BENEFITS: tuple[str, ...] = (
+    "reduce costs", "scale faster", "manage risk", "improve outcomes",
+    "automate workflows", "reach new markets", "stay compliant",
+    "increase efficiency", "secure their data", "grow revenue",
+)
+
+SECURITY_TYPES: tuple[str, ...] = (
+    "common stock", "preferred stock", "bond", "convertible bond", "right",
+    "unit", "warrant", "depositary receipt",
+)
+
+# Synonym table used by the rule-based paraphraser (Pegasus substitute).
+PARAPHRASE_SYNONYMS: dict[str, str] = {
+    "provides": "supplies",
+    "provider": "supplier",
+    "develops": "creates",
+    "builds": "designs",
+    "offers": "delivers",
+    "operates": "runs",
+    "help": "enable",
+    "serving": "supporting",
+    "leading": "prominent",
+    "innovative": "cutting-edge",
+    "global": "international",
+    "trusted": "reliable",
+    "platform": "solution",
+    "software": "applications",
+    "tools": "solutions",
+    "services": "offerings",
+    "worldwide": "globally",
+    "customers": "clients",
+    "small": "smaller",
+    "large": "major",
+}

@@ -1,0 +1,161 @@
+"""A WDC-Products-style product-offer matching benchmark.
+
+Section 5.1.4 evaluates the pipeline on the WDC Products benchmark (the
+"large, 80% corner cases, 100% unseen test entities" variant).  The real
+benchmark is built from web-scraped product offers; offline we generate an
+equivalent synthetic task that preserves the properties the paper relies on:
+
+* many data sources (web shops), heterogeneous group sizes,
+* a high share of *corner cases*: offers of different products that share
+  most of their title tokens (hard negatives), and offers of the same
+  product with diverging titles (hard positives),
+* entity groups of widely varying size — the situation in which the paper's
+  own clean-up (tuned for "one record per source") is expected to underperform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.records import Dataset, ProductRecord
+
+_BRANDS = (
+    "Lexar", "SanDisk", "Kingston", "Corsair", "Samsung", "Seagate", "Intenso",
+    "Transcend", "Crucial", "Western Digital", "PNY", "Toshiba", "Verbatim",
+    "Logitech", "Belkin", "Anker", "TP-Link", "Netgear", "Asus", "MSI",
+)
+_PRODUCT_FAMILIES = (
+    "USB Flash Drive", "MicroSD Card", "SD Card", "External SSD", "Internal SSD",
+    "External Hard Drive", "Memory Module", "Wireless Mouse", "Mechanical Keyboard",
+    "USB-C Hub", "Powerbank", "Wireless Router", "Graphics Card", "Webcam",
+)
+_CAPACITIES = ("16GB", "32GB", "64GB", "128GB", "256GB", "512GB", "1TB", "2TB")
+_SPEED_CLASSES = ("Class 10", "UHS-I", "UHS-II", "V30", "Gen2", "3.1", "3.0", "2.0")
+_NOISE_TOKENS = (
+    "original", "retail", "blister", "bulk", "oem", "new", "sealed", "black",
+    "silver", "portable", "high speed", "premium",
+)
+_CATEGORIES = ("Computers & Accessories", "Storage", "Networking", "Peripherals")
+
+
+@dataclass
+class WdcConfig:
+    """Configuration of the synthetic WDC-Products-style benchmark."""
+
+    num_entities: int = 500
+    num_sources: int = 20
+    min_offers_per_entity: int = 1
+    max_offers_per_entity: int = 6
+    corner_case_rate: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_entities < 1:
+            raise ValueError("num_entities must be positive")
+        if not 1 <= self.min_offers_per_entity <= self.max_offers_per_entity:
+            raise ValueError("invalid offers-per-entity range")
+        if not 0.0 <= self.corner_case_rate <= 1.0:
+            raise ValueError("corner_case_rate must be in [0, 1]")
+
+
+class WdcProductsGenerator:
+    """Generates the synthetic product-offer matching dataset."""
+
+    def __init__(self, config: WdcConfig | None = None) -> None:
+        self.config = config or WdcConfig()
+
+    def generate(self) -> Dataset:
+        rng = random.Random(self.config.seed)
+        records: list[ProductRecord] = []
+        products = [self._make_product(rng, index) for index in range(self.config.num_entities)]
+
+        # Corner cases are created by cloning an existing product with one
+        # attribute changed (capacity or speed class): a different entity
+        # whose offers look almost identical.
+        num_corner = int(self.config.num_entities * self.config.corner_case_rate)
+        for index in range(num_corner):
+            base = rng.choice(products[: self.config.num_entities])
+            products.append(self._make_corner_case(rng, base, self.config.num_entities + index))
+
+        for product in products:
+            records.extend(self._make_offers(rng, product))
+        return Dataset("wdc-products", records)
+
+    # -- product entities ---------------------------------------------------------
+
+    def _make_product(self, rng: random.Random, index: int) -> dict[str, str]:
+        return {
+            "entity_id": f"WDC-P{index:05d}",
+            "brand": rng.choice(_BRANDS),
+            "family": rng.choice(_PRODUCT_FAMILIES),
+            "capacity": rng.choice(_CAPACITIES),
+            "speed": rng.choice(_SPEED_CLASSES),
+            "model": f"{rng.choice('ABCDEFX')}{rng.randint(10, 999)}",
+            "category": rng.choice(_CATEGORIES),
+        }
+
+    def _make_corner_case(
+        self, rng: random.Random, base: dict[str, str], index: int
+    ) -> dict[str, str]:
+        variant = dict(base)
+        variant["entity_id"] = f"WDC-P{index:05d}"
+        changed_attribute = rng.choice(("capacity", "speed", "model"))
+        if changed_attribute == "capacity":
+            choices = [c for c in _CAPACITIES if c != base["capacity"]]
+            variant["capacity"] = rng.choice(choices)
+        elif changed_attribute == "speed":
+            choices = [s for s in _SPEED_CLASSES if s != base["speed"]]
+            variant["speed"] = rng.choice(choices)
+        else:
+            variant["model"] = f"{base['model']}{rng.choice('ABX')}"
+        return variant
+
+    # -- offers -----------------------------------------------------------------------
+
+    def _make_offers(self, rng: random.Random, product: dict[str, str]) -> list[ProductRecord]:
+        num_offers = rng.randint(
+            self.config.min_offers_per_entity, self.config.max_offers_per_entity
+        )
+        sources = rng.sample(
+            [f"shop{i + 1}" for i in range(self.config.num_sources)],
+            min(num_offers, self.config.num_sources),
+        )
+        offers = []
+        for offer_index, source in enumerate(sources):
+            offers.append(
+                ProductRecord(
+                    record_id=f"{product['entity_id']}-O{offer_index}",
+                    source=source,
+                    entity_id=product["entity_id"],
+                    title=self._make_title(rng, product),
+                    brand=product["brand"] if rng.random() < 0.8 else None,
+                    category=product["category"] if rng.random() < 0.6 else None,
+                    price=f"{rng.uniform(5, 400):.2f}" if rng.random() < 0.7 else None,
+                    description=self._make_description(rng, product),
+                )
+            )
+        return offers
+
+    def _make_title(self, rng: random.Random, product: dict[str, str]) -> str:
+        tokens = [product["brand"], product["family"], product["capacity"]]
+        if rng.random() < 0.7:
+            tokens.append(product["speed"])
+        if rng.random() < 0.6:
+            tokens.append(product["model"])
+        tokens.extend(rng.sample(_NOISE_TOKENS, rng.randint(0, 2)))
+        rng.shuffle(tokens)
+        return " ".join(tokens)
+
+    def _make_description(self, rng: random.Random, product: dict[str, str]) -> str | None:
+        if rng.random() < 0.4:
+            return None
+        return (
+            f"{product['brand']} {product['family'].lower()} {product['capacity']} "
+            f"{product['speed']} model {product['model']}"
+        )
+
+
+def generate_wdc_products(config: WdcConfig | None = None) -> Dataset:
+    """Convenience wrapper: generate the synthetic WDC-Products dataset."""
+    return WdcProductsGenerator(config).generate()

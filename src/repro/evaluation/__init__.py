@@ -1,0 +1,36 @@
+"""Experiment harness: splits, fine-tuning evaluation, end-to-end runs, tables.
+
+* :mod:`repro.evaluation.splits` — group-wise 60/20/20 train/validation/test
+  splits (Section 5.1.3),
+* :mod:`repro.evaluation.finetune` — Table 3: fine-tuning scores on the test
+  split pairs,
+* :mod:`repro.evaluation.experiment` — Table 4: the end-to-end entity group
+  matching experiment with the three-stage scoring,
+* :mod:`repro.evaluation.reporting` — plain-text table rendering used by the
+  benchmark harness,
+* :mod:`repro.evaluation.timing` — the LLM cost model used to reproduce the
+  paper's argument that LLM pairwise matching is infeasible at this scale.
+"""
+
+from repro.evaluation.splits import DatasetSplits, split_dataset
+from repro.evaluation.finetune import FineTuneEvaluation, evaluate_fine_tuning
+from repro.evaluation.experiment import (
+    EntityGroupMatchingExperiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
+from repro.evaluation.reporting import format_table, rows_to_table
+from repro.evaluation.timing import LlmCostModel
+
+__all__ = [
+    "DatasetSplits",
+    "split_dataset",
+    "FineTuneEvaluation",
+    "evaluate_fine_tuning",
+    "EntityGroupMatchingExperiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "format_table",
+    "rows_to_table",
+    "LlmCostModel",
+]

@@ -1,0 +1,210 @@
+"""The end-to-end entity group matching experiment (Table 4).
+
+For one dataset and one model setup:
+
+1. fine-tune the pairwise matcher on the train/validation splits,
+2. run the full pipeline (blocking → pairwise matching → pre-cleanup →
+   GraLMatch) on the *whole* dataset,
+3. score the three stages of Section 5.3.2: pairwise matching (blocking
+   pairs), Pre Graph Cleanup (with transitive matches) and Post Graph Cleanup
+   (the final groups), plus the Cluster Purity Score and inference time.
+
+The blocking recipe per dataset follows Table 2: companies use
+ID Overlap + Token Overlap, securities use ID Overlap + Issuer Match (with
+the issuer groups coming from a company matching or from the ground truth
+for oracle ablations), WDC Products uses Token Overlap only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blocking import (
+    CombinedBlocking,
+    IdOverlapBlocking,
+    IssuerMatchBlocking,
+    TokenOverlapBlocking,
+)
+from repro.blocking.base import Blocking
+from repro.core.cleanup import CleanupConfig
+from repro.core.metrics import (
+    GroupMatchingScores,
+    PairwiseScores,
+    group_matching_scores,
+    pairwise_scores,
+)
+from repro.core.pipeline import EntityGroupMatchingPipeline, PipelineResult
+from repro.core.precleanup import PreCleanupConfig
+from repro.datagen.records import Dataset
+from repro.evaluation.splits import DatasetSplits, split_dataset
+from repro.matching.models import MODEL_SPECS, ModelSpec
+from repro.matching.training import FineTuner
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one Table 4 run."""
+
+    #: Named model spec (see :data:`repro.matching.models.MODEL_SPECS`).
+    model: str = "distilbert-128-all"
+    #: "companies", "securities" or "products" — selects the blocking recipe.
+    dataset_kind: str = "companies"
+    #: Graph clean-up thresholds (γ, μ); defaults follow Table 2 given the
+    #: number of sources when left unset.
+    cleanup: CleanupConfig | None = None
+    #: Pre-cleanup rule; enabled for companies by default, disabled otherwise.
+    pre_cleanup: PreCleanupConfig | None = None
+    #: Token-overlap top-n.
+    token_top_n: int = 5
+    #: Negative sampling ratio for fine-tuning.
+    negative_ratio: int = 5
+    #: Epochs for trainable matchers.
+    num_epochs: int = 3
+    #: Split / sampling seed.
+    seed: int = 0
+    #: For securities: company record-id groups used by the Issuer Match
+    #: blocking.  ``None`` falls back to the ground-truth issuer groups
+    #: (oracle issuer matching), which is what the unit benches use.
+    issuer_groups: list[list[str]] | None = field(default=None)
+
+
+@dataclass
+class ExperimentResult:
+    """One Table 4 row with all three evaluation stages."""
+
+    dataset: str
+    model: str
+    num_records: int
+    num_candidates: int
+    pairwise: PairwiseScores
+    pre_cleanup: GroupMatchingScores
+    post_cleanup: GroupMatchingScores
+    inference_seconds: float
+    graph_seconds: float
+    gamma: int | None
+    mu: int
+    pipeline_result: PipelineResult
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "Dataset": self.dataset,
+            "Model": self.model,
+            "# Candidates": self.num_candidates,
+            "Pairwise P": round(100 * self.pairwise.precision, 2),
+            "Pairwise R": round(100 * self.pairwise.recall, 2),
+            "Pairwise F1": round(100 * self.pairwise.f1, 2),
+            "Pre P": round(100 * self.pre_cleanup.precision, 2),
+            "Pre R": round(100 * self.pre_cleanup.recall, 2),
+            "Pre F1": round(100 * self.pre_cleanup.f1, 2),
+            "Pre ClPur": round(self.pre_cleanup.cluster_purity, 2),
+            "Post P": round(100 * self.post_cleanup.precision, 2),
+            "Post R": round(100 * self.post_cleanup.recall, 2),
+            "Post F1": round(100 * self.post_cleanup.f1, 2),
+            "Post ClPur": round(self.post_cleanup.cluster_purity, 2),
+            "Inference (s)": round(self.inference_seconds, 2),
+        }
+
+
+class EntityGroupMatchingExperiment:
+    """Runs the fine-tune + end-to-end-match experiment for one dataset."""
+
+    def __init__(self, dataset: Dataset, config: ExperimentConfig | None = None) -> None:
+        self.dataset = dataset
+        self.config = config or ExperimentConfig()
+        self.splits: DatasetSplits = split_dataset(dataset, seed=self.config.seed)
+
+    # -- components ------------------------------------------------------------------
+
+    def build_blocking(self) -> Blocking:
+        """The Table 2 blocking recipe for the configured dataset kind."""
+        kind = self.config.dataset_kind
+        if kind == "companies":
+            return CombinedBlocking(
+                [IdOverlapBlocking(), TokenOverlapBlocking(top_n=self.config.token_top_n)]
+            )
+        if kind == "securities":
+            if self.config.issuer_groups is not None:
+                issuer = IssuerMatchBlocking.from_company_groups(self.config.issuer_groups)
+            else:
+                issuer = IssuerMatchBlocking(
+                    issuer_group_of=self._ground_truth_issuer_groups()
+                )
+            return CombinedBlocking([IdOverlapBlocking(), issuer])
+        if kind == "products":
+            return TokenOverlapBlocking(top_n=self.config.token_top_n)
+        raise ValueError(f"unknown dataset kind: {kind!r}")
+
+    def _ground_truth_issuer_groups(self) -> dict[str, int]:
+        """Issuer groups derived from the records' issuer entity ids."""
+        mapping: dict[str, int] = {}
+        group_index: dict[str, int] = {}
+        for record in self.dataset:
+            issuer_record_id = getattr(record, "issuer_record_id", None)
+            issuer_entity_id = getattr(record, "issuer_entity_id", None)
+            if issuer_record_id is None or issuer_entity_id is None:
+                continue
+            index = group_index.setdefault(issuer_entity_id, len(group_index))
+            mapping[issuer_record_id] = index
+        return mapping
+
+    def build_cleanup_config(self) -> CleanupConfig:
+        if self.config.cleanup is not None:
+            return self.config.cleanup
+        return CleanupConfig.for_num_sources(len(self.dataset.sources))
+
+    def build_pre_cleanup_config(self) -> PreCleanupConfig:
+        if self.config.pre_cleanup is not None:
+            return self.config.pre_cleanup
+        return PreCleanupConfig(enabled=self.config.dataset_kind == "companies")
+
+    # -- the run -----------------------------------------------------------------------
+
+    def run(self, model: str | ModelSpec | None = None) -> ExperimentResult:
+        """Fine-tune the model and run the end-to-end matching."""
+        spec = model or self.config.model
+        if isinstance(spec, str):
+            spec = MODEL_SPECS[spec]
+
+        tuner = FineTuner(
+            negative_ratio=self.config.negative_ratio,
+            num_epochs=self.config.num_epochs,
+            seed=self.config.seed,
+        )
+        fine_tuned = tuner.fine_tune(
+            spec,
+            self.dataset,
+            train_entities=self.splits.train_entities,
+            validation_entities=self.splits.validation_entities,
+        )
+
+        cleanup_config = self.build_cleanup_config()
+        pipeline = EntityGroupMatchingPipeline(
+            matcher=fine_tuned.matcher,
+            blocking=self.build_blocking(),
+            cleanup_config=cleanup_config,
+            pre_cleanup_config=self.build_pre_cleanup_config(),
+        )
+        result = pipeline.run(self.dataset)
+        return self._score(spec, cleanup_config, result)
+
+    def _score(
+        self,
+        spec: ModelSpec,
+        cleanup_config: CleanupConfig,
+        result: PipelineResult,
+    ) -> ExperimentResult:
+        truth = self.dataset.true_matches()
+        return ExperimentResult(
+            dataset=self.dataset.name,
+            model=spec.name,
+            num_records=len(self.dataset),
+            num_candidates=result.num_candidates,
+            pairwise=pairwise_scores(result.positive_edges, truth),
+            pre_cleanup=group_matching_scores(result.pre_cleanup_groups, truth),
+            post_cleanup=group_matching_scores(result.groups, truth),
+            inference_seconds=result.inference_seconds,
+            graph_seconds=result.graph_seconds,
+            gamma=cleanup_config.gamma,
+            mu=cleanup_config.mu,
+            pipeline_result=result,
+        )

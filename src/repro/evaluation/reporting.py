@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print the same rows the paper's tables report; this
+module renders lists of row dictionaries as aligned monospace tables so the
+output of ``pytest benchmarks/ --benchmark-only`` is directly comparable to
+the tables in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def rows_to_table(rows: Sequence[Mapping[str, object]]) -> list[list[str]]:
+    """Normalise row dictionaries into a header + string cell matrix."""
+    if not rows:
+        return []
+    columns: list[str] = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    table = [columns]
+    for row in rows:
+        table.append([_format_value(row.get(column)) for column in columns])
+    return table
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    table = rows_to_table(rows)
+    if not table:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+
+    widths = [
+        max(len(row[column_index]) for row in table)
+        for column_index in range(len(table[0]))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = table
+    lines.append(" | ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in body:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""LLM pairwise-matching cost model.
+
+Section 5.2: the authors considered LlaMa2-7B for pairwise matching, measured
+roughly 7 seconds per candidate pair and concluded the full matching would
+take 90+ days, ruling LLMs out for datasets of this size.  We cannot (and
+need not) run an LLM offline; the cost model below reproduces the argument
+quantitatively and is exercised by a benchmark so the claim stays checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LlmCostModel:
+    """Extrapolates total matching time from a per-pair latency."""
+
+    #: Average seconds to generate one Match/NoMatch answer (paper: ~7 s).
+    seconds_per_pair: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_pair <= 0:
+            raise ValueError("seconds_per_pair must be positive")
+
+    def total_seconds(self, num_pairs: int) -> float:
+        if num_pairs < 0:
+            raise ValueError("num_pairs must be non-negative")
+        return num_pairs * self.seconds_per_pair
+
+    def total_days(self, num_pairs: int) -> float:
+        return self.total_seconds(num_pairs) / 86_400.0
+
+    def is_feasible(self, num_pairs: int, budget_days: float = 7.0) -> bool:
+        """Whether the matching would finish within ``budget_days``."""
+        if budget_days <= 0:
+            raise ValueError("budget_days must be positive")
+        return self.total_days(num_pairs) <= budget_days
+
+    def speedup_required(self, num_pairs: int, budget_days: float = 7.0) -> float:
+        """Factor by which per-pair latency must drop to fit the budget."""
+        days = self.total_days(num_pairs)
+        if days == 0:
+            return 1.0
+        return max(1.0, days / budget_days)

@@ -1,0 +1,72 @@
+"""Connected components of the match graph.
+
+A connected component of the prediction graph is exactly the set of
+*transitively matched records* implied by a pairwise matcher: every pair of
+records joined by a path of positive predictions is considered a match.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.graphs.graph import Graph, Node
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Return the connected components of ``graph`` as a list of node sets.
+
+    Components are discovered with an iterative breadth-first search so that
+    very large components (the problematic case GraLMatch is designed for)
+    do not overflow the recursion limit.  The result is sorted by decreasing
+    size, then by the smallest representation of a member node, so output is
+    deterministic.
+    """
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = _bfs_component(graph, start)
+        seen.update(component)
+        components.append(component)
+    components.sort(key=lambda comp: (-len(comp), min(repr(n) for n in comp)))
+    return components
+
+
+def _bfs_component(graph: Graph, start: Node) -> set[Node]:
+    component = {start}
+    queue: deque[Node] = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbour in graph.neighbors(node):
+            if neighbour not in component:
+                component.add(neighbour)
+                queue.append(neighbour)
+    return component
+
+
+def component_of(graph: Graph, node: Node) -> set[Node]:
+    """Return the connected component containing ``node``."""
+    if not graph.has_node(node):
+        raise KeyError(f"node {node!r} not in graph")
+    return _bfs_component(graph, node)
+
+
+def largest_component(graph: Graph) -> set[Node]:
+    """Return the largest connected component (empty set for empty graphs)."""
+    best: set[Node] = set()
+    seen: set[Node] = set()
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = _bfs_component(graph, start)
+        seen.update(component)
+        if len(component) > len(best):
+            best = component
+    return best
+
+
+def components_from_edges(edges: Iterable[tuple[Node, Node]]) -> list[set[Node]]:
+    """Convenience wrapper: connected components of an edge list."""
+    return connected_components(Graph(edges))

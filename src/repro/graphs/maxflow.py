@@ -1,0 +1,123 @@
+"""Maximum flow and minimum s-t edge cuts on unweighted undirected graphs.
+
+The minimum *global* edge cut used by GraLMatch (``mincut.py``) is computed
+from minimum s-t cuts: by Menger's theorem the size of a minimum s-t edge cut
+equals the maximum number of edge-disjoint s-t paths, which we obtain with an
+Edmonds–Karp style augmenting-path search on the unit-capacity directed
+expansion of the undirected graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+
+
+class _ResidualNetwork:
+    """Unit-capacity residual network for an undirected graph.
+
+    Every undirected edge {u, v} becomes two directed arcs u→v and v→u of
+    capacity 1.  Flow pushed on one arc creates residual capacity on the
+    reverse arc, which is exactly the behaviour required for undirected
+    max-flow with unit capacities.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.capacity: dict[tuple[Node, Node], int] = {}
+        self.adj: dict[Node, set[Node]] = {node: set() for node in graph.nodes()}
+        for u, v in graph.edges():
+            self.capacity[(u, v)] = 1
+            self.capacity[(v, u)] = 1
+            self.adj[u].add(v)
+            self.adj[v].add(u)
+
+    def bfs_augmenting_path(self, source: Node, sink: Node) -> list[Node] | None:
+        """Find a shortest augmenting path with positive residual capacity."""
+        parents: dict[Node, Node] = {source: source}
+        queue: deque[Node] = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbour in self.adj[node]:
+                if neighbour in parents:
+                    continue
+                if self.capacity.get((node, neighbour), 0) <= 0:
+                    continue
+                parents[neighbour] = node
+                if neighbour == sink:
+                    return self._reconstruct(parents, source, sink)
+                queue.append(neighbour)
+        return None
+
+    @staticmethod
+    def _reconstruct(
+        parents: dict[Node, Node], source: Node, sink: Node
+    ) -> list[Node]:
+        path = [sink]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path
+
+    def push_unit_flow(self, path: list[Node]) -> None:
+        """Push one unit of flow along ``path`` and update residuals."""
+        for u, v in zip(path, path[1:]):
+            self.capacity[(u, v)] = self.capacity.get((u, v), 0) - 1
+            self.capacity[(v, u)] = self.capacity.get((v, u), 0) + 1
+
+    def reachable_from(self, source: Node) -> set[Node]:
+        """Nodes reachable from ``source`` through positive residual arcs."""
+        seen = {source}
+        queue: deque[Node] = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbour in self.adj[node]:
+                if neighbour in seen:
+                    continue
+                if self.capacity.get((node, neighbour), 0) <= 0:
+                    continue
+                seen.add(neighbour)
+                queue.append(neighbour)
+        return seen
+
+
+def max_flow(graph: Graph, source: Node, sink: Node) -> int:
+    """Maximum number of edge-disjoint paths between ``source`` and ``sink``."""
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    if not graph.has_node(source) or not graph.has_node(sink):
+        raise KeyError("source and sink must both be nodes of the graph")
+    network = _ResidualNetwork(graph)
+    flow = 0
+    while True:
+        path = network.bfs_augmenting_path(source, sink)
+        if path is None:
+            return flow
+        network.push_unit_flow(path)
+        flow += 1
+
+
+def minimum_st_edge_cut(graph: Graph, source: Node, sink: Node) -> set[Edge]:
+    """Return a minimum set of edges separating ``source`` from ``sink``.
+
+    After the max flow saturates, the cut consists of the original edges that
+    cross from the residual-reachable side of ``source`` to the other side.
+    """
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    if not graph.has_node(source) or not graph.has_node(sink):
+        raise KeyError("source and sink must both be nodes of the graph")
+
+    network = _ResidualNetwork(graph)
+    while True:
+        path = network.bfs_augmenting_path(source, sink)
+        if path is None:
+            break
+        network.push_unit_flow(path)
+
+    reachable = network.reachable_from(source)
+    cut: set[Edge] = set()
+    for u, v in graph.edges():
+        if (u in reachable) != (v in reachable):
+            cut.add(canonical_edge(u, v))
+    return cut

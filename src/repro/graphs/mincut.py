@@ -1,0 +1,134 @@
+"""Global minimum edge cut of a connected component.
+
+Algorithm 1 of the paper repeatedly removes a minimum edge cut from the
+largest connected component while it is bigger than the threshold ``gamma``.
+Removing a minimum edge cut is guaranteed to split the component, unlike
+removing the highest-betweenness edge, which is why the paper uses it for
+the coarse first phase.
+
+Two implementations are provided:
+
+* :func:`minimum_edge_cut` — Menger-style reduction to minimum s-t cuts
+  (fix an arbitrary node ``s`` and take the best cut against every other
+  node; correct because any global cut separates ``s`` from someone), which
+  also yields the cut *edges* required by the clean-up.
+* :func:`stoer_wagner_min_cut` — the Stoer–Wagner minimum cut value, used by
+  the tests as an independent cross-check of the cut cardinality.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Edge, Graph, Node
+from repro.graphs.maxflow import max_flow, minimum_st_edge_cut
+
+
+def minimum_edge_cut(graph: Graph) -> set[Edge]:
+    """Return a minimum cardinality set of edges disconnecting ``graph``.
+
+    The graph must be connected and contain at least two nodes.  For the
+    degenerate two-node graph the single connecting edge is the cut.
+
+    The search fixes the minimum-degree node as the source (its degree is an
+    upper bound on the cut size, which lets us stop early) and computes a
+    minimum s-t cut towards every other node, keeping the smallest.
+    """
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        raise ValueError("minimum edge cut requires at least two nodes")
+    if len(connected_components(graph)) > 1:
+        # Already disconnected: the empty cut suffices.
+        return set()
+
+    source = min(nodes, key=lambda n: (graph.degree(n), repr(n)))
+    best_cut: set[Edge] | None = None
+    best_size = graph.degree(source) + 1
+
+    for target in nodes:
+        if target == source:
+            continue
+        flow = max_flow(graph, source, target)
+        if flow < best_size:
+            best_size = flow
+            best_cut = minimum_st_edge_cut(graph, source, target)
+            if best_size <= 1:
+                break
+
+    if best_cut is None:
+        # ``source`` is isolated relative to every candidate target, meaning
+        # the graph was not connected to begin with: the empty cut already
+        # disconnects it.
+        return set()
+    return best_cut
+
+
+def stoer_wagner_min_cut(graph: Graph) -> int:
+    """Return the value (cardinality) of a global minimum edge cut.
+
+    Implementation of the Stoer–Wagner algorithm on unit edge weights with
+    simple O(n^2) minimum-cut-phase selection, sufficient for the component
+    sizes seen during clean-up.  Used as an independent check of
+    :func:`minimum_edge_cut`.
+    """
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        raise ValueError("minimum cut requires at least two nodes")
+
+    # Weighted adjacency between "super-nodes" (merged vertex sets).
+    weights: dict[Node, dict[Node, float]] = {n: {} for n in nodes}
+    for u, v in graph.edges():
+        weights[u][v] = weights[u].get(v, 0.0) + 1.0
+        weights[v][u] = weights[v].get(u, 0.0) + 1.0
+
+    active = list(nodes)
+    best = float("inf")
+
+    while len(active) > 1:
+        cut_value, s, t = _minimum_cut_phase(weights, active)
+        best = min(best, cut_value)
+        _merge_nodes(weights, active, s, t)
+
+    return int(best)
+
+
+def _minimum_cut_phase(
+    weights: dict[Node, dict[Node, float]], active: list[Node]
+) -> tuple[float, Node, Node]:
+    """One maximum-adjacency-search phase; returns (cut-of-the-phase, s, t)."""
+    start = active[0]
+    in_a = {start}
+    order = [start]
+    connectivity: dict[Node, float] = {
+        node: weights[start].get(node, 0.0) for node in active if node != start
+    }
+
+    while len(order) < len(active):
+        next_node = max(
+            (node for node in active if node not in in_a),
+            key=lambda node: (connectivity.get(node, 0.0), repr(node)),
+        )
+        in_a.add(next_node)
+        order.append(next_node)
+        for neighbour, weight in weights[next_node].items():
+            if neighbour not in in_a and neighbour in connectivity:
+                connectivity[neighbour] += weight
+
+    t = order[-1]
+    s = order[-2]
+    cut_of_phase = sum(weights[t].values())
+    return cut_of_phase, s, t
+
+
+def _merge_nodes(
+    weights: dict[Node, dict[Node, float]], active: list[Node], s: Node, t: Node
+) -> None:
+    """Merge node ``t`` into ``s`` (contracting the edge between them)."""
+    for neighbour, weight in list(weights[t].items()):
+        if neighbour == s:
+            continue
+        weights[s][neighbour] = weights[s].get(neighbour, 0.0) + weight
+        weights[neighbour][s] = weights[neighbour].get(s, 0.0) + weight
+    for neighbour in list(weights[t]):
+        weights[neighbour].pop(t, None)
+    weights.pop(t, None)
+    active.remove(t)

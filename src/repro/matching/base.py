@@ -1,0 +1,95 @@
+"""The pairwise matcher interface.
+
+Every matcher — neural, feature-based or heuristic — consumes *record pairs*
+and produces Match / NoMatch decisions with a probability.  The entity group
+matching pipeline only depends on this interface (Figure 1 explicitly
+supports "any matching method that produces pairwise matches").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.datagen.records import Record
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """A candidate pair together with the matcher's probability of a match."""
+
+    left_id: str
+    right_id: str
+    probability: float
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.left_id, self.right_id)
+
+
+@dataclass(frozen=True)
+class MatchDecision:
+    """Final Match / NoMatch decision for one candidate pair."""
+
+    left_id: str
+    right_id: str
+    probability: float
+    is_match: bool
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.left_id, self.right_id)
+
+
+RecordPair = tuple[Record, Record]
+
+
+class PairwiseMatcher(ABC):
+    """Binary Match / NoMatch classifier over record pairs."""
+
+    #: Decision threshold applied to the match probability.
+    threshold: float = 0.5
+
+    @abstractmethod
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> list[float]:
+        """Return the match probability for every pair, in order."""
+
+    def predict(self, pairs: Sequence[RecordPair]) -> list[bool]:
+        """Apply the decision threshold to :meth:`predict_proba`."""
+        return [p >= self.threshold for p in self.predict_proba(pairs)]
+
+    def decide(self, pairs: Sequence[RecordPair]) -> list[MatchDecision]:
+        """Return full decisions (ids, probability, verdict) for every pair."""
+        probabilities = self.predict_proba(pairs)
+        return [
+            MatchDecision(
+                left_id=left.record_id,
+                right_id=right.record_id,
+                probability=probability,
+                is_match=probability >= self.threshold,
+            )
+            for (left, right), probability in zip(pairs, probabilities)
+        ]
+
+    def score_pairs(self, pairs: Sequence[RecordPair]) -> list[ScoredPair]:
+        """Return scored pairs without applying the threshold."""
+        probabilities = self.predict_proba(pairs)
+        return [
+            ScoredPair(left.record_id, right.record_id, probability)
+            for (left, right), probability in zip(pairs, probabilities)
+        ]
+
+
+class TrainablePairwiseMatcher(PairwiseMatcher):
+    """A matcher that is fine-tuned on labelled pairs before use."""
+
+    @abstractmethod
+    def fit(
+        self,
+        pairs: Sequence[RecordPair],
+        labels: Sequence[int],
+        validation_pairs: Sequence[RecordPair] | None = None,
+        validation_labels: Sequence[int] | None = None,
+    ) -> "TrainablePairwiseMatcher":
+        """Train on labelled pairs (1 = match, 0 = non-match)."""

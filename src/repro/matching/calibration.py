@@ -1,0 +1,114 @@
+"""Decision-threshold calibration for pairwise matchers.
+
+Section 6 of the paper concludes that *precision* is the deciding factor for
+entity group matching: a matcher with slightly lower recall but higher
+precision ends up with the better post-clean-up F1 because fewer false
+positives reach the graph stage.  Calibrating the decision threshold on the
+validation split is the cheapest way to trade recall for precision with an
+already-trained matcher, so the library ships it as a first-class utility
+(and an ablation benchmark measures its effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.matching.base import PairwiseMatcher, RecordPair
+
+
+@dataclass(frozen=True)
+class ThresholdCandidate:
+    """Scores achieved by one candidate decision threshold."""
+
+    threshold: float
+    precision: float
+    recall: float
+    f1: float
+
+
+def _scores_at_threshold(
+    probabilities: Sequence[float], labels: Sequence[int], threshold: float
+) -> ThresholdCandidate:
+    true_positives = sum(
+        1 for p, label in zip(probabilities, labels) if p >= threshold and label == 1
+    )
+    false_positives = sum(
+        1 for p, label in zip(probabilities, labels) if p >= threshold and label == 0
+    )
+    false_negatives = sum(
+        1 for p, label in zip(probabilities, labels) if p < threshold and label == 1
+    )
+    precision = (
+        true_positives / (true_positives + false_positives)
+        if true_positives + false_positives
+        else 1.0
+    )
+    recall = (
+        true_positives / (true_positives + false_negatives)
+        if true_positives + false_negatives
+        else 1.0
+    )
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return ThresholdCandidate(threshold, precision, recall, f1)
+
+
+def sweep_thresholds(
+    probabilities: Sequence[float],
+    labels: Sequence[int],
+    num_steps: int = 99,
+) -> list[ThresholdCandidate]:
+    """Evaluate evenly spaced thresholds in (0, 1)."""
+    if len(probabilities) != len(labels):
+        raise ValueError("probabilities and labels must have the same length")
+    if num_steps < 1:
+        raise ValueError("num_steps must be positive")
+    thresholds = [(step + 1) / (num_steps + 1) for step in range(num_steps)]
+    return [_scores_at_threshold(probabilities, labels, t) for t in thresholds]
+
+
+def calibrate_threshold(
+    matcher: PairwiseMatcher,
+    validation_pairs: Sequence[RecordPair],
+    validation_labels: Sequence[int],
+    objective: str = "f1",
+    min_precision: float | None = None,
+    num_steps: int = 99,
+) -> ThresholdCandidate:
+    """Pick the decision threshold that optimises ``objective`` on validation.
+
+    Parameters
+    ----------
+    objective:
+        ``"f1"`` maximises F1; ``"precision"`` maximises precision among
+        thresholds that keep a non-zero recall (ties broken toward higher
+        recall) — the setting the paper's conclusion favours for large
+        datasets.
+    min_precision:
+        When given, only thresholds reaching at least this precision are
+        considered (fallback: the highest-precision candidate).
+
+    The matcher's ``threshold`` attribute is updated in place and the chosen
+    candidate returned.
+    """
+    if objective not in ("f1", "precision"):
+        raise ValueError("objective must be 'f1' or 'precision'")
+    if not validation_pairs:
+        raise ValueError("validation pairs are required for calibration")
+
+    probabilities = matcher.predict_proba(validation_pairs)
+    candidates = sweep_thresholds(probabilities, validation_labels, num_steps=num_steps)
+
+    eligible = candidates
+    if min_precision is not None:
+        filtered = [c for c in candidates if c.precision >= min_precision]
+        eligible = filtered or [max(candidates, key=lambda c: c.precision)]
+
+    if objective == "f1":
+        best = max(eligible, key=lambda c: (c.f1, c.precision))
+    else:
+        with_recall = [c for c in eligible if c.recall > 0] or eligible
+        best = max(with_recall, key=lambda c: (c.precision, c.recall))
+
+    matcher.threshold = best.threshold
+    return best

@@ -1,0 +1,173 @@
+"""Similarity features for the classical (feature-based) matcher.
+
+The feature extractor turns a record pair into a fixed-length numpy vector
+of string / set / identifier similarities.  It powers the
+:class:`~repro.matching.logistic.LogisticRegressionMatcher`, which plays the
+role of a strong non-neural baseline and is also much faster than the
+attention model — handy for large candidate sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.datagen.identifiers import SECURITY_ID_FIELDS
+from repro.datagen.records import CompanyRecord, Record, SecurityRecord
+from repro.text.normalize import normalize_identifier, normalize_text, strip_corporate_terms
+from repro.text.similarity import (
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    longest_common_substring_similarity,
+    overlap_coefficient,
+)
+from repro.text.tokenize import word_tokenize
+
+
+class PairFeatureExtractor:
+    """Extract a numeric feature vector from a record pair.
+
+    The feature set is intentionally generic: a block of name similarities, a
+    block of auxiliary-attribute agreements and a block of identifier
+    overlaps.  Fields that a record type does not have contribute neutral
+    values, so the same extractor works for companies, securities and
+    products.
+    """
+
+    FEATURE_NAMES: tuple[str, ...] = (
+        "name_jaro_winkler",
+        "name_levenshtein",
+        "name_token_jaccard",
+        "name_token_overlap",
+        "name_lcs",
+        "stripped_name_jaro_winkler",
+        "stripped_name_token_jaccard",
+        "description_token_jaccard",
+        "description_present_both",
+        "city_match",
+        "region_match",
+        "country_match",
+        "industry_match",
+        "security_type_match",
+        "identifier_overlap_count",
+        "identifier_conflict_count",
+        "isin_overlap",
+        "ticker_match",
+        "same_source",
+    )
+
+    def feature_names(self) -> tuple[str, ...]:
+        return self.FEATURE_NAMES
+
+    @property
+    def num_features(self) -> int:
+        return len(self.FEATURE_NAMES)
+
+    # -- single pair -----------------------------------------------------------
+
+    def extract(self, left: Record, right: Record) -> np.ndarray:
+        """Return the feature vector for one pair."""
+        left_name = self._name(left)
+        right_name = self._name(right)
+        left_name_norm = normalize_text(left_name)
+        right_name_norm = normalize_text(right_name)
+        left_tokens = left_name_norm.split()
+        right_tokens = right_name_norm.split()
+        left_stripped = strip_corporate_terms(left_name)
+        right_stripped = strip_corporate_terms(right_name)
+
+        left_description = self._attribute(left, "description")
+        right_description = self._attribute(right, "description")
+        description_tokens_left = word_tokenize(left_description)
+        description_tokens_right = word_tokenize(right_description)
+
+        identifier_overlaps, identifier_conflicts, isin_overlap = (
+            self._identifier_features(left, right)
+        )
+
+        values = (
+            jaro_winkler_similarity(left_name_norm, right_name_norm),
+            levenshtein_similarity(left_name_norm, right_name_norm),
+            jaccard_similarity(left_tokens, right_tokens),
+            overlap_coefficient(left_tokens, right_tokens),
+            longest_common_substring_similarity(left_name_norm, right_name_norm),
+            jaro_winkler_similarity(left_stripped, right_stripped),
+            jaccard_similarity(left_stripped.split(), right_stripped.split()),
+            jaccard_similarity(description_tokens_left, description_tokens_right)
+            if description_tokens_left and description_tokens_right
+            else 0.0,
+            1.0 if left_description and right_description else 0.0,
+            self._equality_feature(left, right, "city"),
+            self._equality_feature(left, right, "region"),
+            self._equality_feature(left, right, "country_code"),
+            self._equality_feature(left, right, "industry"),
+            self._equality_feature(left, right, "security_type"),
+            float(identifier_overlaps),
+            float(identifier_conflicts),
+            isin_overlap,
+            self._equality_feature(left, right, "ticker"),
+            1.0 if left.source == right.source else 0.0,
+        )
+        return np.asarray(values, dtype=np.float64)
+
+    def extract_batch(self, pairs: Sequence[tuple[Record, Record]]) -> np.ndarray:
+        """Feature matrix (num_pairs, num_features) for a pair sequence."""
+        if not pairs:
+            return np.zeros((0, self.num_features), dtype=np.float64)
+        return np.stack([self.extract(left, right) for left, right in pairs])
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _name(record: Record) -> str:
+        for attribute in ("name", "title"):
+            value = getattr(record, attribute, None)
+            if value:
+                return str(value)
+        return ""
+
+    @staticmethod
+    def _attribute(record: Record, attribute: str) -> str:
+        value = getattr(record, attribute, None)
+        return str(value) if value else ""
+
+    def _equality_feature(self, left: Record, right: Record, attribute: str) -> float:
+        """1 if both present and equal (normalised), 0.5 if either missing."""
+        left_value = normalize_text(self._attribute(left, attribute))
+        right_value = normalize_text(self._attribute(right, attribute))
+        if not left_value or not right_value:
+            return 0.5
+        return 1.0 if left_value == right_value else 0.0
+
+    def _identifier_features(self, left: Record, right: Record) -> tuple[int, int, float]:
+        """(overlap count, conflict count, company-ISIN overlap flag)."""
+        overlaps = 0
+        conflicts = 0
+        isin_overlap = 0.0
+
+        if isinstance(left, SecurityRecord) and isinstance(right, SecurityRecord):
+            for field in SECURITY_ID_FIELDS:
+                left_value = normalize_identifier(getattr(left, field))
+                right_value = normalize_identifier(getattr(right, field))
+                if not left_value or not right_value:
+                    continue
+                if left_value == right_value:
+                    overlaps += 1
+                else:
+                    conflicts += 1
+            isin_overlap = 1.0 if overlaps else 0.0
+
+        if isinstance(left, CompanyRecord) and isinstance(right, CompanyRecord):
+            left_isins = {normalize_identifier(value) for value in left.security_isins}
+            right_isins = {normalize_identifier(value) for value in right.security_isins}
+            left_isins.discard("")
+            right_isins.discard("")
+            shared = left_isins & right_isins
+            overlaps = len(shared)
+            if left_isins and right_isins and not shared:
+                conflicts = 1
+            isin_overlap = 1.0 if shared else 0.0
+
+        return overlaps, conflicts, isin_overlap

@@ -1,0 +1,78 @@
+"""Heuristic (non-learned) pairwise matchers.
+
+Two baselines:
+
+* :class:`IdOverlapMatcher` — "the benchmark heuristic often used to match
+  these types of financial records" (Section 5.3.1): predict a match exactly
+  when the records share an identifier (securities) or an associated
+  security ISIN (companies).  Its failure mode is precisely the data-drift
+  phenomenon: merger-contaminated identifiers yield false positives and
+  re-issued identifiers yield false negatives.
+* :class:`ThresholdNameMatcher` — predict a match when the (corporate-term
+  stripped) names are closer than a threshold under Jaro–Winkler.  Used in
+  tests and as an ingredient of ablation benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datagen.identifiers import identifier_overlap
+from repro.datagen.records import CompanyRecord, Record, SecurityRecord
+from repro.matching.base import PairwiseMatcher, RecordPair
+from repro.text.normalize import normalize_identifier, strip_corporate_terms
+from repro.text.similarity import jaro_winkler_similarity
+
+
+class IdOverlapMatcher(PairwiseMatcher):
+    """Match records exactly when they share a (non-empty) identifier."""
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        self.threshold = threshold
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> list[float]:
+        return [1.0 if self._share_identifier(left, right) else 0.0 for left, right in pairs]
+
+    @staticmethod
+    def _share_identifier(left: Record, right: Record) -> bool:
+        if isinstance(left, SecurityRecord) and isinstance(right, SecurityRecord):
+            return bool(
+                identifier_overlap(left.identifier_values(), right.identifier_values())
+            )
+        if isinstance(left, CompanyRecord) and isinstance(right, CompanyRecord):
+            left_isins = {
+                normalize_identifier(value) for value in left.security_isins if value
+            }
+            right_isins = {
+                normalize_identifier(value) for value in right.security_isins if value
+            }
+            return bool(left_isins & right_isins)
+        return False
+
+
+class ThresholdNameMatcher(PairwiseMatcher):
+    """Match records whose names exceed a Jaro–Winkler similarity threshold."""
+
+    def __init__(self, similarity_threshold: float = 0.92) -> None:
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        self.similarity_threshold = similarity_threshold
+        self.threshold = 0.5
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> list[float]:
+        probabilities = []
+        for left, right in pairs:
+            similarity = jaro_winkler_similarity(
+                strip_corporate_terms(self._name(left)),
+                strip_corporate_terms(self._name(right)),
+            )
+            probabilities.append(1.0 if similarity >= self.similarity_threshold else similarity)
+        return probabilities
+
+    @staticmethod
+    def _name(record: Record) -> str:
+        for attribute in ("name", "title"):
+            value = getattr(record, attribute, None)
+            if value:
+                return str(value)
+        return ""

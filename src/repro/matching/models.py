@@ -1,0 +1,132 @@
+"""The named model zoo of the paper's experiments (Table 3 / Table 4).
+
+Each :class:`ModelSpec` describes one of the setups the paper evaluates:
+
+====================  =========================================================
+``distilbert-128-all``  plain serialisation, 128-token budget, trained on all
+                        pairs of the train split (DistilBERT (128)-ALL)
+``distilbert-128-15k``  same model, trained only on the reduced
+                        identifier-matchable pair subset (DistilBERT (128)-15K)
+``ditto-128``           DITTO ``[COL]/[VAL]`` serialisation, 128 tokens
+``ditto-256``           DITTO serialisation, 256 tokens
+``logistic``            feature-based logistic regression baseline
+``id-overlap``          identifier-overlap heuristic (no training)
+====================  =========================================================
+
+The factory keeps all model hyper-parameters in one place so that the
+benchmark harness, the examples and the tests construct identical models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.matching.attention import TransformerPairClassifier
+from repro.matching.base import PairwiseMatcher
+from repro.matching.heuristic import IdOverlapMatcher
+from repro.matching.logistic import LogisticRegressionMatcher
+from repro.text.serialize import DITTO_SCHEME, PLAIN_SCHEME, make_serializer
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Declarative description of one experimental model setup."""
+
+    name: str
+    kind: str  # "transformer", "logistic" or "id-overlap"
+    serialization_scheme: str = PLAIN_SCHEME
+    max_tokens: int = 128
+    #: Restrict training to the identifier-matchable subset ("15K"-style).
+    reduced_training: bool = False
+    #: Cap on the number of training pairs (``None`` = all).
+    max_training_pairs: int | None = None
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+MODEL_SPECS: dict[str, ModelSpec] = {
+    "distilbert-128-all": ModelSpec(
+        name="distilbert-128-all",
+        kind="transformer",
+        serialization_scheme=PLAIN_SCHEME,
+        max_tokens=128,
+        description="DistilBERT (128)-ALL: plain serialisation, all training pairs",
+    ),
+    "distilbert-128-15k": ModelSpec(
+        name="distilbert-128-15k",
+        kind="transformer",
+        serialization_scheme=PLAIN_SCHEME,
+        max_tokens=128,
+        reduced_training=True,
+        description=(
+            "DistilBERT (128)-15K: plain serialisation, reduced identifier-"
+            "matchable training subset"
+        ),
+    ),
+    "ditto-128": ModelSpec(
+        name="ditto-128",
+        kind="transformer",
+        serialization_scheme=DITTO_SCHEME,
+        max_tokens=128,
+        description="DITTO (128): [COL]/[VAL] serialisation, 128-token budget",
+    ),
+    "ditto-256": ModelSpec(
+        name="ditto-256",
+        kind="transformer",
+        serialization_scheme=DITTO_SCHEME,
+        max_tokens=256,
+        description="DITTO (256): [COL]/[VAL] serialisation, 256-token budget",
+    ),
+    "logistic": ModelSpec(
+        name="logistic",
+        kind="logistic",
+        description="Feature-based logistic regression baseline",
+    ),
+    "id-overlap": ModelSpec(
+        name="id-overlap",
+        kind="id-overlap",
+        description="Identifier-overlap heuristic (the industry benchmark)",
+    ),
+}
+
+
+def build_matcher(
+    spec: ModelSpec | str,
+    attributes: Sequence[str],
+    seed: int = 0,
+    num_epochs: int = 5,
+    embedding_dim: int = 32,
+    hidden_dim: int = 64,
+    num_blocks: int = 1,
+) -> PairwiseMatcher:
+    """Instantiate the matcher described by ``spec`` for a given record schema.
+
+    ``attributes`` is the serialisation order of the record attributes —
+    normally ``RecordClass.MATCHING_ATTRIBUTES`` of the dataset at hand.
+    """
+    if isinstance(spec, str):
+        try:
+            spec = MODEL_SPECS[spec]
+        except KeyError as error:
+            raise ValueError(
+                f"unknown model {spec!r}; available: {sorted(MODEL_SPECS)}"
+            ) from error
+
+    if spec.kind == "transformer":
+        serializer = make_serializer(
+            spec.serialization_scheme, attributes, max_tokens=spec.max_tokens
+        )
+        return TransformerPairClassifier(
+            serializer=serializer,
+            num_epochs=num_epochs,
+            embedding_dim=embedding_dim,
+            hidden_dim=hidden_dim,
+            num_blocks=num_blocks,
+            seed=seed,
+        )
+    if spec.kind == "logistic":
+        return LogisticRegressionMatcher(seed=seed)
+    if spec.kind == "id-overlap":
+        return IdOverlapMatcher()
+    raise ValueError(f"unknown model kind: {spec.kind!r}")

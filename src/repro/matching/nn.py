@@ -1,0 +1,400 @@
+"""Minimal neural-network building blocks on numpy.
+
+These layers implement exactly what the Transformer-style pair classifier in
+:mod:`repro.matching.attention` needs: token + positional embeddings, linear
+projections, layer normalisation, single-head scaled dot-product
+self-attention with padding masks, ReLU, masked mean pooling, a softmax
+cross-entropy loss and the Adam optimiser.
+
+Every layer caches its forward inputs and implements an explicit
+``backward`` pass; the test-suite validates all gradients against numerical
+differentiation, so the stack can be trusted as a (tiny) stand-in for the
+DistilBERT fine-tuning the paper performs on GPU.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class: a layer with parameters and a forward/backward pair."""
+
+    def parameters(self) -> list[Parameter]:
+        found: list[Parameter] = []
+        for attribute in vars(self).values():
+            if isinstance(attribute, Parameter):
+                found.append(attribute)
+            elif isinstance(attribute, Module):
+                found.extend(attribute.parameters())
+            elif isinstance(attribute, (list, tuple)):
+                for item in attribute:
+                    if isinstance(item, Module):
+                        found.extend(item.parameters())
+        return found
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+
+# ---------------------------------------------------------------------------
+# Layers
+# ---------------------------------------------------------------------------
+
+
+class Embedding(Module):
+    """Token-id lookup table.  Input (B, L) int ids -> (B, L, D)."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator,
+                 name: str = "embedding") -> None:
+        scale = 1.0 / np.sqrt(dim)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(vocab_size, dim)), f"{name}.weight")
+        self._ids: np.ndarray | None = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        self._ids = ids
+        return self.weight.value[ids]
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        if self._ids is None:
+            raise RuntimeError("forward must be called before backward")
+        np.add.at(self.weight.grad, self._ids, grad_output)
+
+
+class PositionalEmbedding(Module):
+    """Learned positional embeddings added to the token embeddings."""
+
+    def __init__(self, max_length: int, dim: int, rng: np.random.Generator,
+                 name: str = "positional") -> None:
+        self.weight = Parameter(
+            rng.normal(0.0, 0.02, size=(max_length, dim)), f"{name}.weight"
+        )
+        self._length: int | None = None
+        self._batch: int | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, length, _ = x.shape
+        if length > self.weight.value.shape[0]:
+            raise ValueError("sequence longer than the positional table")
+        self._length = length
+        self._batch = batch
+        return x + self.weight.value[None, :length, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._length is not None
+        self.weight.grad[: self._length] += grad_output.sum(axis=0)
+        return grad_output
+
+
+class Linear(Module):
+    """Affine projection on the last axis: (..., in) -> (..., out)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 name: str = "linear") -> None:
+        scale = np.sqrt(2.0 / (in_dim + out_dim))
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_dim, out_dim)), f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_dim), f"{name}.bias")
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._input is not None
+        flat_input = self._input.reshape(-1, self._input.shape[-1])
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        self.weight.grad += flat_input.T @ flat_grad
+        self.bias.grad += flat_grad.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = "layernorm") -> None:
+        self.gamma = Parameter(np.ones(dim), f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim), f"{name}.beta")
+        self.eps = eps
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(variance + self.eps)
+        normalised = (x - mean) * inv_std
+        self._cache = (x - mean, inv_std, normalised)
+        return normalised * self.gamma.value + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        centred, inv_std, normalised = self._cache
+        dim = grad_output.shape[-1]
+
+        self.gamma.grad += (grad_output * normalised).reshape(-1, dim).sum(axis=0)
+        self.beta.grad += grad_output.reshape(-1, dim).sum(axis=0)
+
+        grad_normalised = grad_output * self.gamma.value
+        grad_variance = (
+            (grad_normalised * centred * -0.5 * inv_std ** 3).sum(axis=-1, keepdims=True)
+        )
+        grad_mean = (
+            (-grad_normalised * inv_std).sum(axis=-1, keepdims=True)
+            + grad_variance * (-2.0 * centred).mean(axis=-1, keepdims=True)
+        )
+        return (
+            grad_normalised * inv_std
+            + grad_variance * 2.0 * centred / dim
+            + grad_mean / dim
+        )
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad_output * self._mask
+
+
+def _masked_softmax(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Softmax over the last axis, with masked positions forced to ~0 weight.
+
+    ``mask`` has shape (B, L) with 1 for real tokens and 0 for padding; it is
+    applied to the *key* dimension.  Rows whose keys are all masked (which
+    cannot happen for well-formed inputs, since position 0 is always [CLS])
+    would yield a uniform distribution over masked keys — guarded by the
+    epsilon in the normalisation.
+    """
+    key_mask = mask[:, None, :]  # (B, 1, L) broadcast over query positions
+    masked_scores = np.where(key_mask > 0, scores, -1e30)
+    masked_scores = masked_scores - masked_scores.max(axis=-1, keepdims=True)
+    exp_scores = np.exp(masked_scores) * key_mask
+    return exp_scores / (exp_scores.sum(axis=-1, keepdims=True) + 1e-30)
+
+
+class SelfAttention(Module):
+    """Single-head scaled dot-product self-attention with padding mask."""
+
+    def __init__(self, dim: int, rng: np.random.Generator, name: str = "attention") -> None:
+        self.query = Linear(dim, dim, rng, f"{name}.query")
+        self.key = Linear(dim, dim, rng, f"{name}.key")
+        self.value = Linear(dim, dim, rng, f"{name}.value")
+        self.output = Linear(dim, dim, rng, f"{name}.output")
+        self.dim = dim
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        queries = self.query.forward(x)
+        keys = self.key.forward(x)
+        values = self.value.forward(x)
+
+        scale = 1.0 / np.sqrt(self.dim)
+        scores = queries @ keys.transpose(0, 2, 1) * scale
+        attention = _masked_softmax(scores, mask)
+        context = attention @ values
+        output = self.output.forward(context)
+
+        self._cache = {
+            "queries": queries,
+            "keys": keys,
+            "values": values,
+            "attention": attention,
+            "scale": np.asarray(scale),
+        }
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        cache = self._cache
+        queries, keys, values = cache["queries"], cache["keys"], cache["values"]
+        attention = cache["attention"]
+        scale = float(cache["scale"])
+
+        grad_context = self.output.backward(grad_output)
+
+        grad_attention = grad_context @ values.transpose(0, 2, 1)
+        grad_values = attention.transpose(0, 2, 1) @ grad_context
+
+        # Softmax backward (per row of the attention matrix).
+        row_dot = (grad_attention * attention).sum(axis=-1, keepdims=True)
+        grad_scores = attention * (grad_attention - row_dot)
+
+        grad_queries = grad_scores @ keys * scale
+        grad_keys = grad_scores.transpose(0, 2, 1) @ queries * scale
+
+        grad_x = self.query.backward(grad_queries)
+        grad_x = grad_x + self.key.backward(grad_keys)
+        grad_x = grad_x + self.value.backward(grad_values)
+        return grad_x
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block: Linear -> ReLU -> Linear."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator,
+                 name: str = "ffn") -> None:
+        self.first = Linear(dim, hidden_dim, rng, f"{name}.first")
+        self.activation = ReLU()
+        self.second = Linear(hidden_dim, dim, rng, f"{name}.second")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.second.forward(self.activation.forward(self.first.forward(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.first.backward(self.activation.backward(self.second.backward(grad_output)))
+
+
+class TransformerBlock(Module):
+    """Pre-norm Transformer encoder block (attention + feed-forward)."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator,
+                 name: str = "block") -> None:
+        self.attention_norm = LayerNorm(dim, name=f"{name}.attention_norm")
+        self.attention = SelfAttention(dim, rng, name=f"{name}.attention")
+        self.ffn_norm = LayerNorm(dim, name=f"{name}.ffn_norm")
+        self.ffn = FeedForward(dim, hidden_dim, rng, name=f"{name}.ffn")
+
+    def forward(self, x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        attended = x + self.attention.forward(self.attention_norm.forward(x), mask)
+        return attended + self.ffn.forward(self.ffn_norm.forward(attended))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_attended = grad_output + self.ffn_norm.backward(self.ffn.backward(grad_output))
+        grad_x = grad_attended + self.attention_norm.backward(
+            self.attention.backward(grad_attended)
+        )
+        return grad_x
+
+
+class MaskedMeanPool(Module):
+    """Mean over the sequence axis, ignoring padded positions."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._mask = mask
+        weights = mask[:, :, None]
+        totals = weights.sum(axis=1)
+        totals[totals == 0] = 1.0
+        return (x * weights).sum(axis=1) / totals
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        weights = self._mask[:, :, None]
+        totals = weights.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return grad_output[:, None, :] * weights / totals
+
+
+# ---------------------------------------------------------------------------
+# Loss and optimiser
+# ---------------------------------------------------------------------------
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max subtraction for stability."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    sample_weights: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    ``sample_weights`` rescales each example's contribution — used for class
+    balancing when negatives outnumber positives 5:1 during fine-tuning.
+    """
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-dimensional (batch, classes)")
+    batch = logits.shape[0]
+    if sample_weights is None:
+        sample_weights = np.ones(batch)
+    elif sample_weights.shape != (batch,):
+        raise ValueError("sample_weights must have shape (batch,)")
+    probabilities = softmax(logits)
+    eps = 1e-12
+    per_example = -np.log(probabilities[np.arange(batch), labels] + eps)
+    loss = float((per_example * sample_weights).mean())
+    grad = probabilities.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad *= sample_weights[:, None]
+    return loss, grad / batch
+
+
+class Adam:
+    """Adam optimiser over a fixed list of :class:`Parameter` objects."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._first_moments = [np.zeros_like(p.value) for p in self.parameters]
+        self._second_moments = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update using the parameters' accumulated gradients."""
+        self._step += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step
+        bias_correction2 = 1.0 - self.beta2 ** self._step
+        for parameter, first, second in zip(
+            self.parameters, self._first_moments, self._second_moments
+        ):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            first[...] = self.beta1 * first + (1.0 - self.beta1) * grad
+            second[...] = self.beta2 * second + (1.0 - self.beta2) * grad * grad
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter.value -= (
+                self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.eps)
+            )
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()

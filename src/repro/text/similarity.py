@@ -1,0 +1,183 @@
+"""String similarity measures.
+
+These are the classic record-linkage similarity functions.  They feed the
+feature-based logistic matcher and several data-artifact sanity checks, and
+give the tests an interpretable reference point: all functions return values
+in ``[0, 1]`` where 1 means identical (except ``levenshtein_distance`` which
+is a raw edit count).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from math import sqrt
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance between ``a`` and ``b`` (insert / delete / substitute)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner dimension to minimise memory.
+    if len(b) > len(a):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,      # deletion
+                    current[j - 1] + 1,   # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalised edit similarity: ``1 - distance / max_length``."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity, the base of the Jaro–Winkler measure."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+
+    match_window = max(len(a), len(b)) // 2 - 1
+    match_window = max(match_window, 0)
+
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(b))
+        for j in range(start, end):
+            if b_matched[j] or b[j] != char_a:
+                continue
+            a_matched[i] = True
+            b_matched[j] = True
+            matches += 1
+            break
+
+    if matches == 0:
+        return 0.0
+
+    # Count transpositions among matched characters.
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(a_matched):
+        if not matched:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(a)
+        + matches / len(b)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro–Winkler similarity (common-prefix boost, capped at 4 characters)."""
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError("prefix_weight must be in [0, 0.25]")
+    jaro = jaro_similarity(a, b)
+    prefix_length = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix_length += 1
+    return jaro + prefix_length * prefix_weight * (1.0 - jaro)
+
+
+def jaccard_similarity(a: Sequence[str] | set[str], b: Sequence[str] | set[str]) -> float:
+    """Jaccard index of two token collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def dice_coefficient(a: Sequence[str] | set[str], b: Sequence[str] | set[str]) -> float:
+    """Sørensen–Dice coefficient of two token collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    denominator = len(set_a) + len(set_b)
+    if denominator == 0:
+        return 1.0
+    return 2.0 * len(set_a & set_b) / denominator
+
+
+def overlap_coefficient(a: Sequence[str] | set[str], b: Sequence[str] | set[str]) -> float:
+    """Overlap (Szymkiewicz–Simpson) coefficient of two token collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a or not set_b:
+        return 1.0 if not set_a and not set_b else 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def cosine_token_similarity(a: Sequence[str], b: Sequence[str]) -> float:
+    """Cosine similarity between token-count vectors."""
+    counts_a = Counter(a)
+    counts_b = Counter(b)
+    if not counts_a and not counts_b:
+        return 1.0
+    if not counts_a or not counts_b:
+        return 0.0
+    dot = sum(counts_a[token] * counts_b[token] for token in counts_a.keys() & counts_b.keys())
+    norm_a = sqrt(sum(value * value for value in counts_a.values()))
+    norm_b = sqrt(sum(value * value for value in counts_b.values()))
+    return dot / (norm_a * norm_b)
+
+
+def longest_common_substring(a: str, b: str) -> int:
+    """Length of the longest common contiguous substring.
+
+    The paper's Figure 2 motivates false positives through "long shared
+    character sequences" (Crowdstrike vs Crowdstreet); this is the feature
+    that captures that.
+    """
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    best = 0
+    for char_a in a:
+        current = [0] * (len(b) + 1)
+        for j, char_b in enumerate(b, start=1):
+            if char_a == char_b:
+                current[j] = previous[j - 1] + 1
+                best = max(best, current[j])
+        previous = current
+    return best
+
+
+def longest_common_substring_similarity(a: str, b: str) -> float:
+    """Longest common substring normalised by the shorter string length."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return longest_common_substring(a, b) / min(len(a), len(b))

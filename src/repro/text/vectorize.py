@@ -1,0 +1,155 @@
+"""Sparse-ish text vectorisers built on numpy.
+
+The Token Overlap blocking and the feature-based matcher need document
+vectors for cosine comparisons.  Two vectorisers are provided:
+
+* :class:`TfidfVectorizer` — fitted vocabulary with inverse document
+  frequency weighting (the standard IR formulation with add-one smoothing),
+* :class:`HashingVectorizer` — stateless feature hashing, useful when the
+  corpus is too large to hold a fitted vocabulary (the 200K-group synthetic
+  generation path).
+
+Vectors are returned as ``{index: weight}`` dictionaries rather than dense
+arrays: record texts are short, so sparse dictionaries keep the memory of a
+near-million-record corpus manageable and make dot products cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.text.tokenize import word_tokenize
+
+SparseVector = dict[int, float]
+
+
+def sparse_dot(a: SparseVector, b: SparseVector) -> float:
+    """Dot product of two sparse vectors."""
+    if len(a) > len(b):
+        a, b = b, a
+    return sum(weight * b.get(index, 0.0) for index, weight in a.items())
+
+
+def sparse_norm(a: SparseVector) -> float:
+    """Euclidean norm of a sparse vector."""
+    return math.sqrt(sum(weight * weight for weight in a.values()))
+
+
+def sparse_cosine(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity of two sparse vectors (0 when either is empty)."""
+    if not a or not b:
+        return 0.0
+    denominator = sparse_norm(a) * sparse_norm(b)
+    if denominator == 0.0:
+        return 0.0
+    return sparse_dot(a, b) / denominator
+
+
+class TfidfVectorizer:
+    """TF-IDF vectoriser over word tokens.
+
+    ``fit`` learns the vocabulary and document frequencies; ``transform``
+    maps texts to L2-normalised sparse vectors.  Tokens unseen at fit time
+    are ignored at transform time (the standard behaviour).
+    """
+
+    def __init__(self, min_document_frequency: int = 1, max_features: int | None = None) -> None:
+        if min_document_frequency < 1:
+            raise ValueError("min_document_frequency must be >= 1")
+        self.min_document_frequency = min_document_frequency
+        self.max_features = max_features
+        self._vocabulary: dict[str, int] = {}
+        self._idf: dict[int, float] = {}
+        self._num_documents = 0
+
+    @property
+    def vocabulary(self) -> dict[str, int]:
+        return dict(self._vocabulary)
+
+    def fit(self, texts: Iterable[str]) -> "TfidfVectorizer":
+        document_frequency: Counter[str] = Counter()
+        self._num_documents = 0
+        for text in texts:
+            self._num_documents += 1
+            document_frequency.update(set(word_tokenize(text)))
+
+        eligible = [
+            (token, frequency)
+            for token, frequency in document_frequency.items()
+            if frequency >= self.min_document_frequency
+        ]
+        eligible.sort(key=lambda item: (-item[1], item[0]))
+        if self.max_features is not None:
+            eligible = eligible[: self.max_features]
+
+        self._vocabulary = {token: idx for idx, (token, _) in enumerate(eligible)}
+        self._idf = {}
+        for token, frequency in eligible:
+            idx = self._vocabulary[token]
+            # Smoothed idf, as in scikit-learn, keeps ubiquitous tokens > 0.
+            self._idf[idx] = math.log((1 + self._num_documents) / (1 + frequency)) + 1.0
+        return self
+
+    def transform_one(self, text: str) -> SparseVector:
+        if not self._vocabulary:
+            raise RuntimeError("vectorizer must be fitted before transform")
+        counts = Counter(word_tokenize(text))
+        vector: SparseVector = {}
+        for token, count in counts.items():
+            idx = self._vocabulary.get(token)
+            if idx is None:
+                continue
+            vector[idx] = count * self._idf[idx]
+        norm = sparse_norm(vector)
+        if norm > 0:
+            vector = {idx: weight / norm for idx, weight in vector.items()}
+        return vector
+
+    def transform(self, texts: Iterable[str]) -> list[SparseVector]:
+        return [self.transform_one(text) for text in texts]
+
+    def fit_transform(self, texts: Sequence[str]) -> list[SparseVector]:
+        return self.fit(texts).transform(texts)
+
+
+class HashingVectorizer:
+    """Stateless hashing vectoriser (term-frequency with a signed hash).
+
+    No fitting step: every token hashes to one of ``num_features`` buckets
+    with a sign derived from a secondary hash, which keeps collisions from
+    systematically inflating similarity.  A process-independent FNV-1a hash
+    is used (not the built-in ``hash``) so vectors are reproducible across
+    runs regardless of ``PYTHONHASHSEED``.
+    """
+
+    def __init__(self, num_features: int = 2 ** 18) -> None:
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+
+    @staticmethod
+    def _fnv1a(text: str) -> int:
+        value = 0xCBF29CE484222325
+        for byte in text.encode("utf-8"):
+            value ^= byte
+            value = (value * 0x100000001B3) % (1 << 64)
+        return value
+
+    def transform_one(self, text: str) -> SparseVector:
+        vector: SparseVector = {}
+        for token in word_tokenize(text):
+            digest = self._fnv1a(token)
+            bucket = digest % self.num_features
+            sign = 1.0 if (digest >> 32) % 2 == 0 else -1.0
+            vector[bucket] = vector.get(bucket, 0.0) + sign
+        # Drop exact cancellations and L2-normalise.
+        vector = {idx: weight for idx, weight in vector.items() if weight != 0.0}
+        norm = sparse_norm(vector)
+        if norm > 0:
+            vector = {idx: weight / norm for idx, weight in vector.items()}
+        return vector
+
+    def transform(self, texts: Iterable[str]) -> list[SparseVector]:
+        return [self.transform_one(text) for text in texts]

@@ -1,0 +1,228 @@
+"""Tests for data artifacts."""
+
+import random
+
+import pytest
+
+from repro.datagen.artifacts import (
+    AcronymName,
+    CorruptIdentifier,
+    CreateCorporateAcquisition,
+    CreateCorporateMerger,
+    DropAttributes,
+    InsertCorporateTerm,
+    MultipleIDs,
+    MultipleSecurities,
+    NoIdOverlaps,
+    ParaphraseAttribute,
+    ReorderNameTokens,
+    TypoName,
+)
+from repro.datagen.drafts import CompanyGroupDraft, SecurityDraft
+from repro.datagen.identifiers import SECURITY_ID_FIELDS, make_security_identifiers
+from repro.datagen.seed import SeedCompany
+
+
+def make_draft(entity="E1", name="Crowdstrike Holdings", sources=("S1", "S2", "S3")):
+    seed = SeedCompany(
+        entity_id=entity,
+        name=name,
+        city="Austin",
+        region="Texas",
+        country_code="USA",
+        description="Crowdstrike provides cloud software for large enterprises.",
+        industry="Information Technology",
+    )
+    draft = CompanyGroupDraft(seed=seed, entity_id=entity)
+    for source in sources:
+        draft.company_records[source] = {
+            "name": name,
+            "city": seed.city,
+            "region": seed.region,
+            "country_code": seed.country_code,
+            "description": seed.description,
+            "industry": seed.industry,
+        }
+    identifiers = make_security_identifiers(random.Random(hash(entity) % 1000))
+    security = SecurityDraft(
+        entity_id=f"{entity}-SEC0",
+        name=f"{name} common stock",
+        security_type="common stock",
+        identifiers=identifiers,
+        ticker="CRWD",
+    )
+    for source in sources:
+        security.records[source] = {
+            "name": security.name,
+            "security_type": "common stock",
+            "issuer_name": name,
+            "ticker": "CRWD",
+            **identifiers,
+        }
+    draft.securities.append(security)
+    return draft
+
+
+class TestCompanyArtifacts:
+    def test_acronym_name_changes_some_sources(self):
+        draft = make_draft()
+        AcronymName().apply(draft, random.Random(0))
+        names = {record["name"] for record in draft.company_records.values()}
+        assert "CH" in names or "C" in {n[:1] for n in names if n.isupper()}
+        assert any(name == "Crowdstrike Holdings" for name in names)
+        assert "AcronymName" in draft.applied_artifacts
+
+    def test_acronym_skips_short_names(self):
+        draft = make_draft(name="Acme")
+        AcronymName().apply(draft, random.Random(0))
+        assert all(
+            record["name"] == "Acme" for record in draft.company_records.values()
+        )
+
+    def test_insert_corporate_term_appends_term(self):
+        draft = make_draft(name="Acme Analytics")
+        InsertCorporateTerm().apply(draft, random.Random(1))
+        changed = [
+            record["name"]
+            for record in draft.company_records.values()
+            if record["name"] != "Acme Analytics"
+        ]
+        assert changed
+        assert all(name.startswith("Acme Analytics ") for name in changed)
+
+    def test_reorder_name_tokens(self):
+        draft = make_draft(name="Crowdstrike Holdings")
+        ReorderNameTokens().apply(draft, random.Random(2))
+        names = {record["name"] for record in draft.company_records.values()}
+        assert "Holdings Crowdstrike" in names
+
+    def test_typo_name_changes_exactly_one_source(self):
+        draft = make_draft()
+        TypoName().apply(draft, random.Random(3))
+        changed = [
+            record["name"]
+            for record in draft.company_records.values()
+            if record["name"] != "Crowdstrike Holdings"
+        ]
+        assert len(changed) == 1
+
+    def test_paraphrase_changes_description(self):
+        draft = make_draft()
+        ParaphraseAttribute().apply(draft, random.Random(4))
+        descriptions = {
+            record["description"] for record in draft.company_records.values()
+        }
+        assert len(descriptions) > 1
+
+    def test_paraphrase_static_method_substitutes_synonyms(self):
+        text = "Acme provides cloud software for large enterprises"
+        paraphrased = ParaphraseAttribute.paraphrase(text, random.Random(0))
+        assert paraphrased != text
+
+    def test_drop_attributes_blanks_values(self):
+        draft = make_draft()
+        DropAttributes().apply(draft, random.Random(5))
+        dropped = [
+            attribute
+            for record in draft.company_records.values()
+            for attribute, value in record.items()
+            if value is None
+        ]
+        assert dropped
+        assert all(record["name"] for record in draft.company_records.values())
+
+
+class TestCrossGroupEvents:
+    def test_acquisition_merges_entities(self):
+        acquirer = make_draft(entity="E-ACQ", name="Hearst Communications")
+        acquiree = make_draft(entity="E-TGT", name="Herotel")
+        CreateCorporateAcquisition().apply_pair(acquirer, acquiree, random.Random(0))
+        assert acquiree.entity_id == "E-ACQ"
+        assert acquiree.acquired_by == "E-ACQ"
+        # Some acquiree records carry the acquirer's name, some keep the old one
+        # only when not every source recorded the event.
+        names = [record["name"] for record in acquiree.company_records.values()]
+        assert "Hearst Communications" in names
+
+    def test_acquisition_rewrites_security_group(self):
+        acquirer = make_draft(entity="E-ACQ", name="Hearst Communications")
+        acquiree = make_draft(entity="E-TGT", name="Herotel")
+        CreateCorporateAcquisition().apply_pair(acquirer, acquiree, random.Random(1))
+        acquirer_security_ids = {s.entity_id for s in acquirer.securities}
+        assert all(s.entity_id in acquirer_security_ids for s in acquiree.securities)
+
+    def test_merger_keeps_entities_separate(self):
+        first = make_draft(entity="E-A", name="lastminute.com")
+        second = make_draft(entity="E-B", name="Travix International")
+        CreateCorporateMerger().apply_pair(first, second, random.Random(0))
+        assert first.entity_id == "E-A"
+        assert second.entity_id == "E-B"
+        assert first.merged_with == "E-B"
+        assert second.merged_with == "E-A"
+
+    def test_merger_contaminates_identifiers(self):
+        first = make_draft(entity="E-A", name="lastminute.com")
+        second = make_draft(entity="E-B", name="Travix International")
+        CreateCorporateMerger().apply_pair(first, second, random.Random(0))
+        donor_ids = set(first.securities[0].identifiers.values())
+        receiver_values = {
+            value
+            for record in second.securities[0].records.values()
+            for key, value in record.items()
+            if key in SECURITY_ID_FIELDS
+        }
+        assert donor_ids & receiver_values
+
+
+class TestSecurityArtifacts:
+    def test_multiple_ids_splits_identifier_overlap(self):
+        draft = make_draft()
+        MultipleIDs().apply(draft, random.Random(0))
+        security = draft.securities[0]
+        isins = {record["isin"] for record in security.records.values()}
+        assert len(isins) >= 1  # may or may not switch isin specifically
+        all_values = [
+            tuple(record[field] for field in SECURITY_ID_FIELDS)
+            for record in security.records.values()
+        ]
+        assert len(set(all_values)) > 1
+
+    def test_no_id_overlaps_wipes_shared_identifiers(self):
+        draft = make_draft()
+        NoIdOverlaps().apply(draft, random.Random(1))
+        security = draft.securities[0]
+        bundles = [
+            tuple(record[field] for field in SECURITY_ID_FIELDS)
+            for record in security.records.values()
+        ]
+        assert len(set(bundles)) == len(bundles)
+
+    def test_multiple_securities_adds_security(self):
+        draft = make_draft()
+        before = len(draft.securities)
+        MultipleSecurities().apply(draft, random.Random(2))
+        assert len(draft.securities) == before + 1
+        new_security = draft.securities[-1]
+        assert new_security.security_type != "common stock"
+        assert new_security.records
+
+    def test_corrupt_identifier_changes_one_value(self):
+        draft = make_draft()
+        original = {
+            source: dict(record)
+            for source, record in draft.securities[0].records.items()
+        }
+        CorruptIdentifier().apply(draft, random.Random(3))
+        differences = 0
+        for source, record in draft.securities[0].records.items():
+            for field in SECURITY_ID_FIELDS:
+                if record[field] != original[source][field]:
+                    differences += 1
+        assert differences == 1
+
+    def test_artifacts_are_noops_without_securities(self):
+        draft = make_draft()
+        draft.securities = []
+        for artifact in (MultipleIDs(), NoIdOverlaps(), CorruptIdentifier()):
+            artifact.apply(draft, random.Random(0))
+        assert draft.applied_artifacts == []

@@ -1,0 +1,137 @@
+"""Tests for the synthetic benchmark generator."""
+
+import pytest
+
+from repro.datagen import GenerationConfig, RealLikeConfig, SyntheticConfig, generate_benchmark
+from repro.datagen.generator import SyntheticDatasetGenerator
+from repro.datagen.identifiers import is_valid_isin
+from repro.datagen.records import CompanyRecord, SecurityRecord
+
+
+def small_config(**overrides):
+    defaults = dict(num_entities=60, num_sources=5, seed=11)
+    defaults.update(overrides)
+    return GenerationConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_invalid_sources(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(num_sources=0)
+
+    def test_invalid_source_range(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(min_sources_per_entity=4, max_sources_per_entity=2)
+
+    def test_max_sources_exceeding_total(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(num_sources=3, max_sources_per_entity=5)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(acquisition_rate=1.5)
+
+    def test_source_names(self):
+        assert GenerationConfig(num_sources=3).source_names == ["S1", "S2", "S3"]
+
+    def test_preset_configs_valid(self):
+        assert SyntheticConfig().num_sources == 5
+        assert RealLikeConfig().num_sources == 8
+
+
+class TestGeneration:
+    def test_entity_counts(self):
+        benchmark = generate_benchmark(small_config())
+        company_entities = set(benchmark.companies.entity_groups())
+        # Acquisitions merge groups, so there can be slightly fewer entities
+        # than seeds but never more.
+        assert 50 <= len(company_entities) <= 60
+
+    def test_records_reference_known_sources(self):
+        benchmark = generate_benchmark(small_config())
+        sources = set(benchmark.config.source_names)
+        assert set(benchmark.companies.sources) <= sources
+        assert set(benchmark.securities.sources) <= sources
+
+    def test_each_company_entity_has_at_most_one_record_per_source(self):
+        benchmark = generate_benchmark(small_config(acquisition_rate=0.0))
+        for record_ids in benchmark.companies.entity_groups().values():
+            records = [benchmark.companies.record(rid) for rid in record_ids]
+            sources = [record.source for record in records]
+            assert len(sources) == len(set(sources))
+
+    def test_company_records_are_company_type(self):
+        benchmark = generate_benchmark(small_config())
+        assert all(isinstance(r, CompanyRecord) for r in benchmark.companies)
+        assert all(isinstance(r, SecurityRecord) for r in benchmark.securities)
+
+    def test_security_issuers_point_to_companies(self):
+        benchmark = generate_benchmark(small_config())
+        company_entity_ids = {r.entity_id for r in benchmark.companies}
+        for security in benchmark.securities:
+            assert security.issuer_entity_id in company_entity_ids
+            if security.issuer_record_id is not None:
+                issuer = benchmark.companies.record(security.issuer_record_id)
+                assert issuer.source == security.source
+
+    def test_identifiers_are_mostly_valid(self):
+        benchmark = generate_benchmark(small_config())
+        isins = [r.isin for r in benchmark.securities if r.isin]
+        valid = sum(1 for isin in isins if is_valid_isin(isin))
+        # CorruptIdentifier may invalidate a few, but the bulk must validate.
+        assert valid / len(isins) > 0.9
+
+    def test_determinism(self):
+        first = generate_benchmark(small_config())
+        second = generate_benchmark(small_config())
+        assert [r.to_dict() for r in first.companies] == [
+            r.to_dict() for r in second.companies
+        ]
+        assert [r.to_dict() for r in first.securities] == [
+            r.to_dict() for r in second.securities
+        ]
+
+    def test_different_seed_changes_data(self):
+        first = generate_benchmark(small_config(seed=1))
+        second = generate_benchmark(small_config(seed=2))
+        assert [r.to_dict() for r in first.companies] != [
+            r.to_dict() for r in second.companies
+        ]
+
+    def test_acquisitions_create_multi_seed_groups(self):
+        config = small_config(num_entities=200, acquisition_rate=0.2, merger_rate=0.0)
+        benchmark = generate_benchmark(config)
+        acquired = [d for d in benchmark.drafts if d.acquired_by]
+        assert acquired
+        # Acquiree company records carry the acquirer's entity id.
+        for draft in acquired:
+            group = benchmark.companies.entity_groups()[draft.entity_id]
+            sources = [benchmark.companies.record(rid).source for rid in group]
+            # merged groups can now exceed one record per source
+            assert len(group) >= len(draft.company_records)
+
+    def test_mergers_do_not_merge_groups(self):
+        config = small_config(num_entities=200, acquisition_rate=0.0, merger_rate=0.2)
+        benchmark = generate_benchmark(config)
+        merged = [d for d in benchmark.drafts if d.merged_with]
+        assert merged
+        for draft in merged:
+            assert draft.entity_id.endswith(draft.seed.entity_id)
+
+    def test_description_share_respected(self):
+        config = small_config(num_entities=300, description_probability=0.3)
+        benchmark = generate_benchmark(config)
+        with_description = sum(1 for r in benchmark.companies if r.description)
+        share = with_description / len(benchmark.companies)
+        assert 0.15 <= share <= 0.45
+
+    def test_zero_entities(self):
+        benchmark = generate_benchmark(small_config(num_entities=0))
+        assert len(benchmark.companies) == 0
+        assert len(benchmark.securities) == 0
+
+    def test_generator_reusable(self):
+        generator = SyntheticDatasetGenerator(small_config())
+        first = generator.generate()
+        second = generator.generate()
+        assert len(first.companies) == len(second.companies)

@@ -1,0 +1,120 @@
+"""Tests for splits, reporting tables and the LLM cost model."""
+
+import pytest
+
+from repro.datagen import GenerationConfig, generate_benchmark
+from repro.evaluation import LlmCostModel, format_table, rows_to_table, split_dataset
+
+
+@pytest.fixture(scope="module")
+def eval_benchmark():
+    return generate_benchmark(GenerationConfig(num_entities=100, num_sources=4, seed=51))
+
+
+class TestSplits:
+    def test_fractions(self, eval_benchmark):
+        companies = eval_benchmark.companies
+        splits = split_dataset(companies, seed=0)
+        total = splits.num_entities
+        assert total == len(companies.entity_groups())
+        assert len(splits.train_entities) == pytest.approx(0.6 * total, abs=2)
+        assert len(splits.validation_entities) == pytest.approx(0.2 * total, abs=2)
+
+    def test_splits_are_disjoint_and_cover(self, eval_benchmark):
+        companies = eval_benchmark.companies
+        splits = split_dataset(companies, seed=1)
+        train = set(splits.train_entities)
+        validation = set(splits.validation_entities)
+        test = set(splits.test_entities)
+        assert not train & validation
+        assert not train & test
+        assert not validation & test
+        assert train | validation | test == set(companies.entity_groups())
+
+    def test_no_cross_split_true_matches(self, eval_benchmark):
+        """Splitting along groups means no true match crosses split borders."""
+        companies = eval_benchmark.companies
+        splits = split_dataset(companies, seed=2)
+        entity_split = {}
+        for name, entities in (
+            ("train", splits.train_entities),
+            ("val", splits.validation_entities),
+            ("test", splits.test_entities),
+        ):
+            for entity in entities:
+                entity_split[entity] = name
+        for left_id, right_id in companies.true_matches():
+            assert entity_split[companies.entity_of(left_id)] == entity_split[
+                companies.entity_of(right_id)
+            ]
+
+    def test_deterministic(self, eval_benchmark):
+        companies = eval_benchmark.companies
+        assert split_dataset(companies, seed=3) == split_dataset(companies, seed=3)
+        assert split_dataset(companies, seed=3) != split_dataset(companies, seed=4)
+
+    def test_restrict(self, eval_benchmark):
+        companies = eval_benchmark.companies
+        splits = split_dataset(companies, seed=0)
+        train = splits.restrict(companies, "train")
+        assert set(train.entity_groups()) == set(splits.train_entities)
+        with pytest.raises(ValueError):
+            splits.restrict(companies, "dev")
+
+    def test_invalid_fractions(self, eval_benchmark):
+        companies = eval_benchmark.companies
+        with pytest.raises(ValueError):
+            split_dataset(companies, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            split_dataset(companies, validation_fraction=1.0)
+        with pytest.raises(ValueError):
+            split_dataset(companies, train_fraction=0.8, validation_fraction=0.3)
+
+
+class TestReporting:
+    rows = [
+        {"Model": "distilbert-128-all", "F1": 97.66},
+        {"Model": "ditto-256", "F1": 98.20, "Note": "best"},
+    ]
+
+    def test_rows_to_table_collects_all_columns(self):
+        table = rows_to_table(self.rows)
+        assert table[0] == ["Model", "F1", "Note"]
+        assert table[1][2] == "-"
+
+    def test_format_table_contains_values(self):
+        text = format_table(self.rows, title="Table 3")
+        assert "Table 3" in text
+        assert "distilbert-128-all" in text
+        assert "98.20" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Empty")
+        assert rows_to_table([]) == []
+
+
+class TestLlmCostModel:
+    def test_paper_claim_90_days(self):
+        # The synthetic companies dataset has ~1.14M candidate pairs; at 7 s
+        # per pair an LLM needs far more than 90 days.
+        model = LlmCostModel(seconds_per_pair=7.0)
+        assert model.total_days(1_140_000) > 90
+        assert not model.is_feasible(1_140_000, budget_days=7)
+
+    def test_small_workload_feasible(self):
+        model = LlmCostModel(seconds_per_pair=7.0)
+        assert model.is_feasible(1_000, budget_days=1)
+
+    def test_speedup_required(self):
+        model = LlmCostModel(seconds_per_pair=7.0)
+        assert model.speedup_required(1_140_000, budget_days=7) > 10
+        assert model.speedup_required(10, budget_days=7) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LlmCostModel(seconds_per_pair=0)
+        model = LlmCostModel()
+        with pytest.raises(ValueError):
+            model.total_seconds(-1)
+        with pytest.raises(ValueError):
+            model.is_feasible(10, budget_days=0)

@@ -1,0 +1,92 @@
+"""Tests for edge betweenness centrality (cross-checked against networkx)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, edge_betweenness_centrality
+from repro.graphs.betweenness import max_betweenness_edge
+from repro.graphs.graph import canonical_edge
+
+
+class TestEdgeBetweenness:
+    def test_single_edge(self):
+        g = Graph([(1, 2)])
+        scores = edge_betweenness_centrality(g, normalized=False)
+        assert scores[(1, 2)] == pytest.approx(1.0)
+
+    def test_path_graph_middle_edge_is_highest(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        scores = edge_betweenness_centrality(g, normalized=False)
+        assert scores[(2, 3)] > scores[(1, 2)]
+        assert scores[(2, 3)] == pytest.approx(4.0)
+
+    def test_bridge_between_two_cliques_dominates(self):
+        # Two triangles joined by a single bridge edge — the classic
+        # false-positive-match structure from the paper's Figure 4.
+        left = [(1, 2), (2, 3), (1, 3)]
+        right = [(4, 5), (5, 6), (4, 6)]
+        bridge = [(3, 4)]
+        g = Graph(left + right + bridge)
+        scores = edge_betweenness_centrality(g, normalized=False)
+        assert max(scores, key=scores.get) == (3, 4)
+
+    def test_max_betweenness_edge_matches_scores(self):
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (5, 6), (4, 6)])
+        edge, score = max_betweenness_edge(g)
+        scores = edge_betweenness_centrality(g, normalized=False)
+        assert edge == (3, 4)
+        assert score == pytest.approx(max(scores.values()))
+
+    def test_max_betweenness_edge_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            max_betweenness_edge(Graph())
+
+    def test_normalization(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        raw = edge_betweenness_centrality(g, normalized=False)
+        norm = edge_betweenness_centrality(g, normalized=True)
+        n = 4
+        scale = n * (n - 1) / 2
+        for edge in raw:
+            assert norm[edge] == pytest.approx(raw[edge] / scale)
+
+
+@st.composite
+def connected_graphs(draw):
+    """Random small connected graphs (a random tree plus extra edges)."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = set()
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges.add(canonical_edge(parent, node))
+    extra = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add(canonical_edge(u, v))
+    return sorted(edges)
+
+
+class TestBetweennessAgainstNetworkx:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, edges):
+        g = Graph(edges)
+        ours = edge_betweenness_centrality(g, normalized=True)
+        nxg = nx.Graph(edges)
+        theirs = nx.edge_betweenness_centrality(nxg, normalized=True)
+        assert set(ours) == {canonical_edge(u, v) for u, v in theirs}
+        for (u, v), score in theirs.items():
+            assert ours[canonical_edge(u, v)] == pytest.approx(score, abs=1e-9)
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_are_nonnegative(self, edges):
+        g = Graph(edges)
+        scores = edge_betweenness_centrality(g, normalized=False)
+        assert all(score >= 0 for score in scores.values())
+        # Every edge lies on at least the shortest path between its endpoints.
+        assert all(score >= 1.0 for score in scores.values())

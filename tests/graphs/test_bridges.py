@@ -1,0 +1,94 @@
+"""Tests for bridge / articulation-point detection (cross-checked vs networkx)."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.graphs.bridges import articulation_points, bridges
+from repro.graphs.graph import canonical_edge
+
+
+class TestBridges:
+    def test_single_edge_is_a_bridge(self):
+        assert bridges(Graph([(1, 2)])) == {(1, 2)}
+
+    def test_cycle_has_no_bridges(self):
+        assert bridges(Graph([(1, 2), (2, 3), (3, 1)])) == set()
+
+    def test_two_cliques_with_bridge(self):
+        left = [(1, 2), (2, 3), (1, 3)]
+        right = [(4, 5), (5, 6), (4, 6)]
+        g = Graph(left + right + [(3, 4)])
+        assert bridges(g) == {(3, 4)}
+
+    def test_path_all_edges_are_bridges(self):
+        edges = [(i, i + 1) for i in range(6)]
+        assert bridges(Graph(edges)) == {canonical_edge(u, v) for u, v in edges}
+
+    def test_empty_graph(self):
+        assert bridges(Graph()) == set()
+
+    def test_disconnected_components_handled(self):
+        g = Graph([(1, 2), (3, 4), (4, 5), (3, 5)])
+        assert bridges(g) == {(1, 2)}
+
+
+class TestArticulationPoints:
+    def test_path_interior_nodes(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        assert articulation_points(g) == {2, 3}
+
+    def test_cycle_has_none(self):
+        assert articulation_points(Graph([(1, 2), (2, 3), (3, 1)])) == set()
+
+    def test_bridge_endpoint_between_cliques(self):
+        left = [(1, 2), (2, 3), (1, 3)]
+        right = [(4, 5), (5, 6), (4, 6)]
+        g = Graph(left + right + [(3, 4)])
+        assert articulation_points(g) == {3, 4}
+
+    def test_star_center(self):
+        g = Graph([(0, 1), (0, 2), (0, 3)])
+        assert articulation_points(g) == {0}
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=15))
+    edges = set()
+    num_edges = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add(canonical_edge(u, v))
+    return sorted(edges)
+
+
+class TestAgainstNetworkx:
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_bridges_match_networkx(self, edges):
+        ours = bridges(Graph(edges))
+        theirs = {canonical_edge(u, v) for u, v in nx.bridges(nx.Graph(edges))}
+        assert ours == theirs
+
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_articulation_points_match_networkx(self, edges):
+        ours = articulation_points(Graph(edges))
+        theirs = set(nx.articulation_points(nx.Graph(edges)))
+        assert ours == theirs
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_removing_a_bridge_disconnects_its_component(self, edges):
+        from repro.graphs import connected_components
+
+        graph = Graph(edges)
+        before = len(connected_components(graph))
+        for bridge in bridges(Graph(edges)):
+            mutated = Graph(edges)
+            mutated.remove_edge(*bridge)
+            assert len(connected_components(mutated)) == before + 1

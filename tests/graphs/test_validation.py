@@ -1,0 +1,49 @@
+"""Tests for structural predicates."""
+
+import pytest
+
+from repro.graphs import Graph, density, is_complete, is_connected
+
+
+class TestIsConnected:
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph())
+
+    def test_single_node_is_connected(self):
+        g = Graph()
+        g.add_node(1)
+        assert is_connected(g)
+
+    def test_path_is_connected(self):
+        assert is_connected(Graph([(1, 2), (2, 3)]))
+
+    def test_two_components_not_connected(self):
+        assert not is_connected(Graph([(1, 2), (3, 4)]))
+
+
+class TestIsComplete:
+    def test_triangle_is_complete(self):
+        assert is_complete(Graph([(1, 2), (2, 3), (1, 3)]))
+
+    def test_path_is_not_complete(self):
+        assert not is_complete(Graph([(1, 2), (2, 3)]))
+
+    def test_single_node_is_complete(self):
+        g = Graph()
+        g.add_node(1)
+        assert is_complete(g)
+
+    def test_complete_constructor_is_complete(self):
+        assert is_complete(Graph.complete(range(7)))
+
+
+class TestDensity:
+    def test_empty_graph(self):
+        assert density(Graph()) == 0.0
+
+    def test_complete_graph_density_one(self):
+        assert density(Graph.complete(range(5))) == pytest.approx(1.0)
+
+    def test_path_density(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        assert density(g) == pytest.approx(3 / 6)

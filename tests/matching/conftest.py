@@ -1,0 +1,27 @@
+"""Shared fixtures for matcher tests: a small generated benchmark."""
+
+import pytest
+
+from repro.datagen import GenerationConfig, generate_benchmark
+
+
+@pytest.fixture(scope="package")
+def matching_benchmark():
+    """A small but non-trivial synthetic benchmark shared across matcher tests.
+
+    Named to avoid colliding with pytest-benchmark's ``benchmark`` fixture.
+    """
+    return generate_benchmark(
+        GenerationConfig(num_entities=80, num_sources=4, seed=21,
+                         acquisition_rate=0.05, merger_rate=0.05)
+    )
+
+
+@pytest.fixture(scope="package")
+def companies(matching_benchmark):
+    return matching_benchmark.companies
+
+
+@pytest.fixture(scope="package")
+def securities(matching_benchmark):
+    return matching_benchmark.securities

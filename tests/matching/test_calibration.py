@@ -1,0 +1,92 @@
+"""Tests for decision-threshold calibration."""
+
+import pytest
+
+from repro.matching.base import PairwiseMatcher
+from repro.matching.calibration import calibrate_threshold, sweep_thresholds
+from repro.datagen.records import CompanyRecord
+
+
+class FixedProbabilityMatcher(PairwiseMatcher):
+    """Test double: returns a pre-set probability per pair."""
+
+    def __init__(self, probabilities):
+        self.probabilities = list(probabilities)
+        self.threshold = 0.5
+
+    def predict_proba(self, pairs):
+        return self.probabilities[: len(pairs)]
+
+
+def dummy_pairs(count):
+    record = CompanyRecord(record_id="r", source="S1", entity_id="e", name="Acme")
+    other = CompanyRecord(record_id="q", source="S2", entity_id="e", name="Acme")
+    return [(record, other)] * count
+
+
+class TestSweepThresholds:
+    def test_length_and_monotone_recall(self):
+        probabilities = [0.1, 0.4, 0.6, 0.9]
+        labels = [0, 0, 1, 1]
+        candidates = sweep_thresholds(probabilities, labels, num_steps=9)
+        assert len(candidates) == 9
+        recalls = [c.recall for c in candidates]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            sweep_thresholds([0.5], [1, 0])
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            sweep_thresholds([0.5], [1], num_steps=0)
+
+
+class TestCalibrateThreshold:
+    def test_f1_objective_finds_separating_threshold(self):
+        # Perfectly separable at 0.5: positives above, negatives below.
+        probabilities = [0.1, 0.2, 0.3, 0.7, 0.8, 0.9]
+        labels = [0, 0, 0, 1, 1, 1]
+        matcher = FixedProbabilityMatcher(probabilities)
+        best = calibrate_threshold(matcher, dummy_pairs(6), labels, objective="f1")
+        assert best.f1 == pytest.approx(1.0)
+        assert 0.3 < matcher.threshold <= 0.7
+
+    def test_precision_objective_trades_recall(self):
+        # One noisy positive at 0.4 among negatives up to 0.45: maximising
+        # precision pushes the threshold above the noise, losing that positive.
+        probabilities = [0.45, 0.4, 0.42, 0.9, 0.85, 0.3]
+        labels = [0, 1, 0, 1, 1, 0]
+        matcher = FixedProbabilityMatcher(probabilities)
+        best = calibrate_threshold(matcher, dummy_pairs(6), labels, objective="precision")
+        assert best.precision == pytest.approx(1.0)
+        assert best.recall < 1.0
+        assert matcher.threshold > 0.45
+
+    def test_min_precision_constraint(self):
+        probabilities = [0.55, 0.6, 0.65, 0.9]
+        labels = [0, 1, 0, 1]
+        matcher = FixedProbabilityMatcher(probabilities)
+        best = calibrate_threshold(
+            matcher, dummy_pairs(4), labels, objective="f1", min_precision=1.0
+        )
+        assert best.precision == pytest.approx(1.0)
+
+    def test_invalid_objective(self):
+        matcher = FixedProbabilityMatcher([0.5])
+        with pytest.raises(ValueError):
+            calibrate_threshold(matcher, dummy_pairs(1), [1], objective="accuracy")
+
+    def test_requires_validation_pairs(self):
+        matcher = FixedProbabilityMatcher([])
+        with pytest.raises(ValueError):
+            calibrate_threshold(matcher, [], [])
+
+    def test_threshold_changes_predictions(self):
+        probabilities = [0.55, 0.6]
+        matcher = FixedProbabilityMatcher(probabilities)
+        before = matcher.predict(dummy_pairs(2))
+        calibrate_threshold(matcher, dummy_pairs(2), [0, 1], objective="precision")
+        after = matcher.predict(dummy_pairs(2))
+        assert before == [True, True]
+        assert after == [False, True]

@@ -1,0 +1,277 @@
+"""Gradient checks and unit tests for the numpy neural-network layers."""
+
+import numpy as np
+import pytest
+
+from repro.matching.nn import (
+    Adam,
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    MaskedMeanPool,
+    Parameter,
+    PositionalEmbedding,
+    ReLU,
+    SelfAttention,
+    TransformerBlock,
+    cross_entropy,
+    softmax,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numerical_gradient(func, array, epsilon=1e-6):
+    """Central-difference numerical gradient of a scalar function."""
+    gradient = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + epsilon
+        plus = func()
+        array[index] = original - epsilon
+        minus = func()
+        array[index] = original
+        gradient[index] = (plus - minus) / (2 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, RNG)
+        out = layer.forward(np.ones((2, 5, 4)))
+        assert out.shape == (2, 5, 3)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        target_weights = rng.normal(size=(4, 2))
+
+        def loss():
+            return float((layer.forward(x) * target_weights).sum())
+
+        loss()  # populate cache
+        layer.zero_grad()
+        grad_x = layer.backward(target_weights)
+
+        assert np.allclose(grad_x, numerical_gradient(loss, x), atol=1e-5)
+        assert np.allclose(
+            layer.weight.grad, numerical_gradient(loss, layer.weight.value), atol=1e-5
+        )
+        assert np.allclose(
+            layer.bias.grad, numerical_gradient(loss, layer.bias.value), atol=1e-5
+        )
+
+
+class TestLayerNorm:
+    def test_output_is_normalised(self):
+        layer = LayerNorm(8)
+        out = layer.forward(np.random.default_rng(2).normal(size=(3, 8)) * 5 + 2)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(3)
+        layer = LayerNorm(5)
+        x = rng.normal(size=(2, 5))
+        weights = rng.normal(size=(2, 5))
+
+        def loss():
+            return float((layer.forward(x) * weights).sum())
+
+        loss()
+        layer.zero_grad()
+        grad_x = layer.backward(weights)
+        assert np.allclose(grad_x, numerical_gradient(loss, x), atol=1e-5)
+        assert np.allclose(
+            layer.gamma.grad, numerical_gradient(loss, layer.gamma.value), atol=1e-5
+        )
+        assert np.allclose(
+            layer.beta.grad, numerical_gradient(loss, layer.beta.value), atol=1e-5
+        )
+
+
+class TestEmbeddingAndPositional:
+    def test_embedding_lookup(self):
+        rng = np.random.default_rng(4)
+        layer = Embedding(10, 4, rng)
+        ids = np.array([[1, 2], [3, 1]])
+        out = layer.forward(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out[0, 0], layer.weight.value[1])
+
+    def test_embedding_gradient_accumulates_repeats(self):
+        rng = np.random.default_rng(5)
+        layer = Embedding(6, 3, rng)
+        ids = np.array([[1, 1, 2]])
+        layer.forward(ids)
+        layer.zero_grad()
+        grad = np.ones((1, 3, 3))
+        layer.backward(grad)
+        assert np.allclose(layer.weight.grad[1], 2.0)
+        assert np.allclose(layer.weight.grad[2], 1.0)
+        assert np.allclose(layer.weight.grad[0], 0.0)
+
+    def test_positional_embedding_gradcheck(self):
+        rng = np.random.default_rng(6)
+        layer = PositionalEmbedding(8, 3, rng)
+        x = rng.normal(size=(2, 4, 3))
+        weights = rng.normal(size=(2, 4, 3))
+
+        def loss():
+            return float((layer.forward(x) * weights).sum())
+
+        loss()
+        layer.zero_grad()
+        layer.backward(weights)
+        assert np.allclose(
+            layer.weight.grad,
+            numerical_gradient(loss, layer.weight.value),
+            atol=1e-5,
+        )
+
+    def test_positional_rejects_long_sequences(self):
+        layer = PositionalEmbedding(4, 3, RNG)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 5, 3)))
+
+
+class TestAttentionAndBlock:
+    def test_attention_respects_mask(self):
+        rng = np.random.default_rng(7)
+        layer = SelfAttention(4, rng)
+        x = rng.normal(size=(1, 3, 4))
+        mask_full = np.ones((1, 3))
+        mask_short = np.array([[1.0, 1.0, 0.0]])
+        out_full = layer.forward(x, mask_full)
+        out_short = layer.forward(x, mask_short)
+        # Masking the third token must change the attended output of token 0.
+        assert not np.allclose(out_full[0, 0], out_short[0, 0])
+
+    def test_attention_gradient_check(self):
+        rng = np.random.default_rng(8)
+        layer = SelfAttention(3, rng)
+        x = rng.normal(size=(2, 4, 3))
+        mask = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 1.0, 0.0, 0.0]])
+        weights = rng.normal(size=(2, 4, 3))
+
+        def loss():
+            return float((layer.forward(x, mask) * weights).sum())
+
+        loss()
+        layer.zero_grad()
+        grad_x = layer.backward(weights)
+        assert np.allclose(grad_x, numerical_gradient(loss, x), atol=1e-5)
+        assert np.allclose(
+            layer.query.weight.grad,
+            numerical_gradient(loss, layer.query.weight.value),
+            atol=1e-5,
+        )
+
+    def test_feedforward_gradient_check(self):
+        rng = np.random.default_rng(9)
+        layer = FeedForward(3, 5, rng)
+        x = rng.normal(size=(2, 3))
+        weights = rng.normal(size=(2, 3))
+
+        def loss():
+            return float((layer.forward(x) * weights).sum())
+
+        loss()
+        layer.zero_grad()
+        grad_x = layer.backward(weights)
+        assert np.allclose(grad_x, numerical_gradient(loss, x), atol=1e-4)
+
+    def test_transformer_block_gradient_check(self):
+        rng = np.random.default_rng(10)
+        block = TransformerBlock(3, 6, rng)
+        x = rng.normal(size=(2, 4, 3))
+        mask = np.ones((2, 4))
+        weights = rng.normal(size=(2, 4, 3))
+
+        def loss():
+            return float((block.forward(x, mask) * weights).sum())
+
+        loss()
+        block.zero_grad()
+        grad_x = block.backward(weights)
+        assert np.allclose(grad_x, numerical_gradient(loss, x), atol=1e-4)
+
+    def test_block_parameters_discovered(self):
+        block = TransformerBlock(4, 8, RNG)
+        names = {p.name for p in block.parameters()}
+        assert any("attention.query" in name for name in names)
+        assert any("ffn" in name for name in names)
+
+
+class TestPoolingLossOptimizer:
+    def test_masked_mean_pool(self):
+        pool = MaskedMeanPool()
+        x = np.array([[[1.0, 2.0], [3.0, 4.0], [100.0, 100.0]]])
+        mask = np.array([[1.0, 1.0, 0.0]])
+        pooled = pool.forward(x, mask)
+        assert np.allclose(pooled, [[2.0, 3.0]])
+
+    def test_masked_mean_pool_gradcheck(self):
+        rng = np.random.default_rng(11)
+        pool = MaskedMeanPool()
+        x = rng.normal(size=(2, 3, 4))
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 1.0]])
+        weights = rng.normal(size=(2, 4))
+
+        def loss():
+            return float((pool.forward(x, mask) * weights).sum())
+
+        loss()
+        grad_x = pool.backward(weights)
+        assert np.allclose(grad_x, numerical_gradient(loss, x), atol=1e-6)
+
+    def test_softmax_rows_sum_to_one(self):
+        probabilities = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = np.array([[2.0, 0.0]])
+        labels = np.array([0])
+        loss, grad = cross_entropy(logits, labels)
+        expected = -np.log(np.exp(2.0) / (np.exp(2.0) + 1.0))
+        assert loss == pytest.approx(expected)
+        assert grad.shape == logits.shape
+
+    def test_cross_entropy_gradient_check(self):
+        rng = np.random.default_rng(12)
+        logits = rng.normal(size=(3, 2))
+        labels = np.array([0, 1, 1])
+
+        def loss():
+            return cross_entropy(logits, labels)[0]
+
+        _, grad = cross_entropy(logits, labels)
+        assert np.allclose(grad, numerical_gradient(loss, logits), atol=1e-6)
+
+    def test_cross_entropy_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_adam_reduces_quadratic_loss(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            parameter.grad[...] = 2 * parameter.value
+            optimizer.step()
+        assert np.allclose(parameter.value, 0.0, atol=1e-2)
+
+    def test_adam_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_relu(self):
+        relu = ReLU()
+        out = relu.forward(np.array([-1.0, 2.0]))
+        assert np.allclose(out, [0.0, 2.0])
+        assert np.allclose(relu.backward(np.array([1.0, 1.0])), [0.0, 1.0])

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datagen import GenerationConfig, generate_benchmark
+from repro.datagen.io import read_dataset_csv, write_dataset_csv
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.command == "generate"
+        assert args.entities == 1000
+        assert args.sources == 5
+
+    def test_match_arguments(self):
+        args = build_parser().parse_args(
+            ["match", "data.csv", "--kind", "securities", "--model", "logistic"]
+        )
+        assert args.kind == "securities"
+        assert args.model == "logistic"
+
+
+class TestGenerateCommand:
+    def test_writes_csv_files(self, tmp_path, capsys):
+        exit_code = main([
+            "generate", "--entities", "25", "--sources", "3",
+            "--seed", "5", "--output-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        companies = read_dataset_csv(tmp_path / "companies.csv")
+        securities = read_dataset_csv(tmp_path / "securities.csv")
+        assert len(companies) > 0
+        assert len(securities) > 0
+        output = capsys.readouterr().out
+        assert "company records" in output
+
+    def test_wdc_flag(self, tmp_path):
+        exit_code = main([
+            "generate", "--entities", "20", "--sources", "3",
+            "--output-dir", str(tmp_path), "--wdc",
+        ])
+        assert exit_code == 0
+        assert (tmp_path / "wdc_products.csv").exists()
+
+
+class TestStatsCommand:
+    def test_prints_table1_row(self, tmp_path, capsys):
+        benchmark = generate_benchmark(GenerationConfig(num_entities=20, num_sources=3, seed=2))
+        path = write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
+        exit_code = main(["stats", str(path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "# of Records" in output
+        assert "# of Matches" in output
+
+    def test_missing_file(self, tmp_path, capsys):
+        exit_code = main(["stats", str(tmp_path / "missing.csv")])
+        assert exit_code == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestMatchCommand:
+    def test_end_to_end_with_logistic_model(self, tmp_path, capsys):
+        benchmark = generate_benchmark(GenerationConfig(num_entities=40, num_sources=3, seed=3))
+        path = write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
+        exit_code = main([
+            "match", str(path), "--kind", "companies",
+            "--model", "logistic", "--epochs", "1",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Post F1" in output
+
+    def test_missing_file(self, tmp_path):
+        assert main(["match", str(tmp_path / "missing.csv")]) == 2

@@ -1,0 +1,100 @@
+"""Tests for record-pair serialisation schemes."""
+
+import pytest
+
+from repro.text import DittoSerializer, PlainSerializer
+from repro.text.serialize import make_serializer
+from repro.text.tokenize import COL_TOKEN, SEP_TOKEN, VAL_TOKEN
+
+COMPANY = {
+    "name": "Crowdstrike Holdings Inc",
+    "city": "Austin",
+    "country": "USA",
+    "description": "Cloud-delivered endpoint protection",
+}
+OTHER = {
+    "name": "Crowd Strike Platforms",
+    "city": "Austin",
+    "country": None,
+    "description": "",
+}
+ATTRIBUTES = ["name", "city", "country", "description"]
+
+
+class TestPlainSerializer:
+    def test_serialize_record_concatenates_values(self):
+        tokens = PlainSerializer(ATTRIBUTES).serialize_record(COMPANY)
+        assert tokens[:3] == ["crowdstrike", "holdings", "inc"]
+        assert "austin" in tokens
+
+    def test_missing_values_skipped(self):
+        tokens = PlainSerializer(ATTRIBUTES).serialize_record(OTHER)
+        assert "none" not in tokens
+
+    def test_pair_contains_separator(self):
+        tokens = PlainSerializer(ATTRIBUTES).serialize_pair(COMPANY, OTHER)
+        assert SEP_TOKEN in tokens
+
+    def test_pair_respects_budget(self):
+        long_record = {"name": " ".join(f"tok{i}" for i in range(500))}
+        serializer = PlainSerializer(["name"], max_tokens=64)
+        tokens = serializer.serialize_pair(long_record, long_record)
+        assert len(tokens) <= 64
+
+    def test_list_values_are_joined(self):
+        record = {"name": "x", "city": None, "country": None, "description": None,
+                  }
+        record["name"] = ["beta", "alpha"]
+        tokens = PlainSerializer(["name"]).serialize_record(record)
+        assert tokens == ["alpha", "beta"]
+
+    def test_pair_text_is_string(self):
+        text = PlainSerializer(ATTRIBUTES).serialize_pair_text(COMPANY, OTHER)
+        assert isinstance(text, str)
+        assert "crowdstrike" in text
+
+
+class TestDittoSerializer:
+    def test_wraps_attributes_with_col_val(self):
+        tokens = DittoSerializer(ATTRIBUTES).serialize_record(COMPANY)
+        assert tokens.count(COL_TOKEN) == len(ATTRIBUTES)
+        assert tokens.count(VAL_TOKEN) == len(ATTRIBUTES)
+
+    def test_attribute_names_included(self):
+        tokens = DittoSerializer(ATTRIBUTES).serialize_record(COMPANY)
+        assert "city" in tokens
+
+    def test_ditto_encoding_is_longer_than_plain(self):
+        plain = PlainSerializer(ATTRIBUTES).serialize_record(COMPANY)
+        ditto = DittoSerializer(ATTRIBUTES).serialize_record(COMPANY)
+        assert len(ditto) > len(plain)
+
+    def test_truncation_hurts_ditto_more(self):
+        # With a tight budget, DITTO loses informative value tokens because
+        # the structural tokens consume part of the budget — the mechanism
+        # behind DITTO (128)'s weak scores in Table 3.
+        budget = 16
+        plain = PlainSerializer(ATTRIBUTES, max_tokens=budget)
+        ditto = DittoSerializer(ATTRIBUTES, max_tokens=budget)
+        plain_pair = plain.serialize_pair(COMPANY, OTHER)
+        ditto_pair = ditto.serialize_pair(COMPANY, OTHER)
+        informative = {"crowdstrike", "holdings", "austin", "crowd", "strike", "platforms"}
+        plain_informative = sum(1 for t in plain_pair if t in informative)
+        ditto_informative = sum(1 for t in ditto_pair if t in informative)
+        assert plain_informative > ditto_informative
+
+
+class TestSerializerValidation:
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            PlainSerializer([])
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DittoSerializer(["name"], max_tokens=2)
+
+    def test_factory(self):
+        assert isinstance(make_serializer("plain", ["name"]), PlainSerializer)
+        assert isinstance(make_serializer("ditto", ["name"]), DittoSerializer)
+        with pytest.raises(ValueError):
+            make_serializer("bert", ["name"])

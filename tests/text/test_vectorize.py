@@ -1,0 +1,102 @@
+"""Tests for TF-IDF and hashing vectorisers."""
+
+import pytest
+
+from repro.text import HashingVectorizer, TfidfVectorizer
+from repro.text.vectorize import sparse_cosine, sparse_dot, sparse_norm
+
+
+class TestSparseOps:
+    def test_dot(self):
+        assert sparse_dot({0: 1.0, 1: 2.0}, {1: 3.0}) == pytest.approx(6.0)
+
+    def test_norm(self):
+        assert sparse_norm({0: 3.0, 1: 4.0}) == pytest.approx(5.0)
+
+    def test_cosine_empty(self):
+        assert sparse_cosine({}, {0: 1.0}) == 0.0
+
+    def test_cosine_identical(self):
+        v = {0: 0.6, 1: 0.8}
+        assert sparse_cosine(v, v) == pytest.approx(1.0)
+
+
+class TestTfidfVectorizer:
+    corpus = [
+        "crowdstrike holdings cybersecurity platform",
+        "crowdstreet real estate investment platform",
+        "acme energy resources",
+    ]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform_one("hello")
+
+    def test_vectors_are_normalised(self):
+        vec = TfidfVectorizer().fit(self.corpus).transform_one(self.corpus[0])
+        assert sparse_norm(vec) == pytest.approx(1.0)
+
+    def test_identical_text_has_cosine_one(self):
+        vectorizer = TfidfVectorizer().fit(self.corpus)
+        a = vectorizer.transform_one(self.corpus[0])
+        b = vectorizer.transform_one(self.corpus[0])
+        assert sparse_cosine(a, b) == pytest.approx(1.0)
+
+    def test_related_texts_more_similar_than_unrelated(self):
+        vectorizer = TfidfVectorizer().fit(self.corpus)
+        crowdstrike = vectorizer.transform_one(self.corpus[0])
+        crowdstreet = vectorizer.transform_one(self.corpus[1])
+        acme = vectorizer.transform_one(self.corpus[2])
+        assert sparse_cosine(crowdstrike, crowdstreet) > sparse_cosine(crowdstrike, acme)
+
+    def test_unknown_tokens_ignored(self):
+        vectorizer = TfidfVectorizer().fit(self.corpus)
+        assert vectorizer.transform_one("completely unrelated words") == {}
+
+    def test_min_document_frequency(self):
+        vectorizer = TfidfVectorizer(min_document_frequency=2).fit(self.corpus)
+        assert "platform" in vectorizer.vocabulary
+        assert "cybersecurity" not in vectorizer.vocabulary
+
+    def test_max_features(self):
+        vectorizer = TfidfVectorizer(max_features=3).fit(self.corpus)
+        assert len(vectorizer.vocabulary) == 3
+
+    def test_invalid_min_df(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_document_frequency=0)
+
+    def test_fit_transform_matches_separate_calls(self):
+        vectorizer = TfidfVectorizer()
+        combined = vectorizer.fit_transform(self.corpus)
+        separate = vectorizer.transform(self.corpus)
+        assert combined == separate
+
+
+class TestHashingVectorizer:
+    def test_no_fit_needed(self):
+        vec = HashingVectorizer(num_features=64).transform_one("alpha beta")
+        assert vec
+
+    def test_deterministic_across_instances(self):
+        a = HashingVectorizer(num_features=128).transform_one("crowdstrike holdings")
+        b = HashingVectorizer(num_features=128).transform_one("crowdstrike holdings")
+        assert a == b
+
+    def test_normalised(self):
+        vec = HashingVectorizer(num_features=128).transform_one("one two three")
+        assert sparse_norm(vec) == pytest.approx(1.0)
+
+    def test_similar_texts_have_high_cosine(self):
+        vectorizer = HashingVectorizer(num_features=2 ** 12)
+        a = vectorizer.transform_one("crowdstrike holdings inc")
+        b = vectorizer.transform_one("crowdstrike holdings")
+        c = vectorizer.transform_one("acme energy resources")
+        assert sparse_cosine(a, b) > sparse_cosine(a, c)
+
+    def test_invalid_num_features(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(num_features=0)
+
+    def test_empty_text(self):
+        assert HashingVectorizer().transform_one("") == {}
