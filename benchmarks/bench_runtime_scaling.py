@@ -1,0 +1,189 @@
+"""Serial vs. parallel pairwise-inference throughput of the runtime engine.
+
+Measures ``PipelineRuntime.run_matching`` — the pipeline's dominant cost at
+paper scale (the "Inference Time" column of Table 4) — on the synthetic
+companies benchmark under increasing worker counts, in two regimes:
+
+* ``cpu`` — a pure-Python compute-bound matcher (Jaro–Winkler name
+  similarity) on a process pool.  Throughput scales with *physical cores*;
+  on a single-core machine the table honestly shows pool overhead instead
+  of speedup.
+* ``latency`` — a matcher with per-request latency and a max batch size per
+  request (the remote / LLM-API matching regime of Section 5.2) on a thread
+  pool.  Throughput scales with the *worker count* regardless of core
+  count, because workers overlap request latency that a single connection
+  pays sequentially.
+
+Run as a script (the CI smoke invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_scaling.py --smoke
+
+or at full scale::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_scaling.py --entities 300 --workers 1,2,4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.blocking import CombinedBlocking, IdOverlapBlocking, TokenOverlapBlocking
+from repro.datagen import GenerationConfig, generate_benchmark
+from repro.datagen.records import Dataset
+from repro.evaluation import format_table
+from repro.matching.base import PairwiseMatcher, RecordPair
+from repro.matching.heuristic import ThresholdNameMatcher
+from repro.runtime import PipelineRuntime, RuntimeConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class SimulatedLatencyMatcher(PairwiseMatcher):
+    """A matcher that pays request latency like a remote inference API.
+
+    Stand-in for remote inference (an LLM API, a model server): requests
+    carry at most ``max_pairs_per_request`` pairs and each request costs
+    ``seconds_per_request`` of latency, so one call over N pairs sleeps
+    ``ceil(N / cap)`` request latencies *sequentially* — exactly what a
+    single connection would pay — while concurrent runtime workers overlap
+    their requests.  Decisions are delegated to an inner matcher, so results
+    stay deterministic across worker counts.
+    """
+
+    def __init__(
+        self,
+        inner: PairwiseMatcher,
+        seconds_per_request: float,
+        max_pairs_per_request: int = 128,
+    ) -> None:
+        self.inner = inner
+        self.seconds_per_request = seconds_per_request
+        self.max_pairs_per_request = max_pairs_per_request
+        self.threshold = inner.threshold
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> list[float]:
+        num_requests = -(-len(pairs) // self.max_pairs_per_request) if pairs else 0
+        time.sleep(num_requests * self.seconds_per_request)
+        return self.inner.predict_proba(pairs)
+
+
+def build_workload(num_entities: int, seed: int) -> tuple[Dataset, list]:
+    """The synthetic companies dataset and its blocking candidates."""
+    benchmark = generate_benchmark(
+        GenerationConfig(num_entities=num_entities, num_sources=4, seed=seed,
+                         acquisition_rate=0.05, merger_rate=0.05)
+    )
+    dataset = benchmark.companies
+    blocking = CombinedBlocking([IdOverlapBlocking(), TokenOverlapBlocking(top_n=5)])
+    return dataset, blocking.candidate_pairs(dataset)
+
+
+def measure_throughput(
+    matcher: PairwiseMatcher,
+    dataset: Dataset,
+    candidates: list,
+    config: RuntimeConfig,
+    repeats: int,
+) -> tuple[float, list]:
+    """Best-of-``repeats`` pairs/second for one runtime configuration."""
+    runtime = PipelineRuntime(config)
+    best_seconds = float("inf")
+    decisions = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        decisions = runtime.run_matching(matcher, dataset, candidates)
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+    return len(candidates) / best_seconds, decisions
+
+
+def run_scaling(
+    mode: str,
+    dataset: Dataset,
+    candidates: list,
+    worker_counts: Sequence[int],
+    batch_size: int,
+    repeats: int,
+    latency: float,
+) -> list[dict[str, object]]:
+    """One table row per worker count, with speedup relative to serial."""
+    if mode == "cpu":
+        matcher: PairwiseMatcher = ThresholdNameMatcher(similarity_threshold=0.88)
+        executor = "process"
+    else:
+        matcher = SimulatedLatencyMatcher(
+            ThresholdNameMatcher(similarity_threshold=0.88),
+            seconds_per_request=latency,
+            max_pairs_per_request=batch_size,
+        )
+        executor = "thread"
+
+    rows: list[dict[str, object]] = []
+    serial_throughput = None
+    serial_decisions = None
+    for workers in worker_counts:
+        config = RuntimeConfig(workers=workers, batch_size=batch_size, executor=executor)
+        throughput, decisions = measure_throughput(
+            matcher, dataset, candidates, config, repeats
+        )
+        if serial_throughput is None:
+            serial_throughput, serial_decisions = throughput, decisions
+        assert decisions == serial_decisions, (
+            f"parallel decisions diverged from serial at workers={workers}"
+        )
+        rows.append({
+            "Mode": mode,
+            "Executor": executor if workers > 1 else "serial",
+            "Workers": workers,
+            "Batch size": batch_size,
+            "Pairs": len(candidates),
+            "Pairs / s": round(throughput, 1),
+            "Speedup": round(throughput / serial_throughput, 2),
+        })
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--entities", type=int, default=200,
+                        help="company record groups in the synthetic dataset")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts (first is the serial baseline)")
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--repeats", type=int, default=2, help="best-of repeats per point")
+    parser.add_argument("--latency", type=float, default=0.05,
+                        help="per-call seconds of the simulated remote matcher")
+    parser.add_argument("--modes", default="cpu,latency",
+                        help="comma-separated subset of {cpu,latency}")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload + single repeat (the CI smoke run)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.entities, args.repeats, args.workers = 40, 1, "1,2"
+
+    worker_counts = [int(w) for w in args.workers.split(",")]
+    dataset, candidates = build_workload(args.entities, args.seed)
+    print(f"workload: {len(dataset)} records, {len(candidates)} candidate pairs, "
+          f"{os.cpu_count()} cpu core(s)")
+
+    rows: list[dict[str, object]] = []
+    for mode in args.modes.split(","):
+        rows.extend(run_scaling(mode, dataset, candidates, worker_counts,
+                                args.batch_size, args.repeats, args.latency))
+
+    table = format_table(rows, title="Runtime scaling — pairwise inference throughput")
+    print(table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "runtime_scaling.txt"
+    path.write_text(table + "\n", encoding="utf-8")
+    print(f"[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

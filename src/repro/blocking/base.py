@@ -39,6 +39,17 @@ class Blocking(ABC):
     def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
         """Return the candidate pairs for ``dataset``."""
 
+    def partition(self) -> list["Blocking"]:
+        """Independent sub-blockings the execution engine may fan out.
+
+        A plain blocking is its own single partition.  Composite blockings
+        override this to expose their parts; the engine runs each part as
+        one pool task and merges the results in declaration order, so the
+        parallel merge keeps the first-blocking-wins de-duplication
+        semantics of :class:`~repro.blocking.combine.CombinedBlocking`.
+        """
+        return [self]
+
     def _make_pair(self, left: Record | str, right: Record | str) -> CandidatePair:
         left_id = left if isinstance(left, str) else left.record_id
         right_id = right if isinstance(right, str) else right.record_id

@@ -30,6 +30,10 @@ class CombinedBlocking(Blocking):
             pairs.extend(blocking.candidate_pairs(dataset))
         return dedupe_pairs(pairs)
 
+    def partition(self) -> list[Blocking]:
+        """Each member blocking is one independent execution-engine task."""
+        return list(self.blockings)
+
     def pairs_by_blocking(self, dataset: Dataset) -> dict[str, int]:
         """Number of (deduplicated) candidates contributed by each blocking."""
         counts: dict[str, int] = {}

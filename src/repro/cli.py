@@ -25,6 +25,20 @@ from repro.datagen.io import read_dataset_csv, write_dataset_csv
 from repro.datagen.wdc import WdcConfig, generate_wdc_products
 from repro.evaluation import format_table
 from repro.evaluation.experiment import EntityGroupMatchingExperiment, ExperimentConfig
+from repro.runtime import EXECUTOR_KINDS, RuntimeConfig
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for strictly positive integers (workers, batch sizes)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="model spec name (see repro.matching.models.MODEL_SPECS)")
     match.add_argument("--epochs", type=int, default=3, help="fine-tuning epochs")
     match.add_argument("--seed", type=int, default=0, help="split / sampling seed")
+    match.add_argument("--workers", type=positive_int, default=1,
+                       help="execution-engine worker slots (1 = serial engine)")
+    match.add_argument("--batch-size", type=positive_int, default=2048,
+                       help="candidate pairs per pairwise-inference chunk")
+    match.add_argument("--executor", choices=list(EXECUTOR_KINDS), default="process",
+                       help="worker pool flavour used when --workers > 1")
     return parser
 
 
@@ -104,6 +124,11 @@ def _command_match(args: argparse.Namespace) -> int:
         dataset_kind=args.kind,
         num_epochs=args.epochs,
         seed=args.seed,
+        runtime=RuntimeConfig(
+            workers=args.workers,
+            batch_size=args.batch_size,
+            executor=args.executor,
+        ),
     )
     experiment = EntityGroupMatchingExperiment(dataset, config)
     result = experiment.run()

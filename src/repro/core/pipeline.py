@@ -18,7 +18,6 @@ The pipeline never looks at ground truth; scoring lives in
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -30,6 +29,7 @@ from repro.core.precleanup import PreCleanupConfig, pre_cleanup
 from repro.datagen.records import Dataset
 from repro.graphs.graph import Edge
 from repro.matching.base import MatchDecision, PairwiseMatcher
+from repro.runtime import PipelineRuntime, RuntimeConfig, StageProfiler
 
 
 @dataclass(frozen=True)
@@ -86,42 +86,58 @@ class EntityGroupMatchingPipeline:
         blocking: Blocking,
         cleanup_config: CleanupConfig | None = None,
         pre_cleanup_config: PreCleanupConfig | None = None,
+        runtime: PipelineRuntime | RuntimeConfig | None = None,
     ) -> None:
         self.matcher = matcher
         self.blocking = blocking
         self.cleanup_config = cleanup_config or CleanupConfig()
         self.pre_cleanup_config = pre_cleanup_config or PreCleanupConfig()
+        if runtime is None:
+            runtime = PipelineRuntime()
+        elif isinstance(runtime, RuntimeConfig):
+            runtime = PipelineRuntime(runtime)
+        self.runtime = runtime
 
     # -- the five steps -----------------------------------------------------------
 
     def run(self, dataset: Dataset) -> PipelineResult:
-        """Run the full pipeline on ``dataset`` and return all artefacts."""
-        blocking_start = time.perf_counter()
-        candidates = self.blocking.candidate_pairs(dataset)
-        blocking_seconds = time.perf_counter() - blocking_start
+        """Run the full pipeline on ``dataset`` and return all artefacts.
 
-        inference_start = time.perf_counter()
-        decisions = self._predict(dataset, candidates)
-        inference_seconds = time.perf_counter() - inference_start
+        Candidate generation and pairwise inference are delegated to the
+        execution engine (:class:`~repro.runtime.PipelineRuntime`), which
+        batches and optionally parallelises them; the graph stages operate
+        on the global match graph and stay single-pass.  Serial and parallel
+        engines produce identical results.
+        """
+        profiler = StageProfiler()
 
-        graph_start = time.perf_counter()
-        positive_edges = [
-            decision.pair for decision in decisions if decision.is_match
-        ]
-        edge_blockings = {
-            candidate.key: candidate.blocking for candidate in candidates
-        }
+        with profiler.stage("blocking"):
+            candidates = self.runtime.run_blocking(self.blocking, dataset, profiler)
 
-        kept_edges, removed_by_precleanup = pre_cleanup(
-            positive_edges, edge_blockings, self.pre_cleanup_config
-        )
+        with profiler.stage("pairwise_matching"):
+            decisions = self.runtime.run_matching(
+                self.matcher, dataset, candidates, profiler
+            )
 
-        components, cleanup_report = gralmatch_cleanup(kept_edges, self.cleanup_config)
+        with profiler.stage("graph_cleanup"):
+            positive_edges = [
+                decision.pair for decision in decisions if decision.is_match
+            ]
+            edge_blockings = {
+                candidate.key: candidate.blocking for candidate in candidates
+            }
 
-        all_record_ids = [record.record_id for record in dataset]
-        groups = self._components_to_groups(components, all_record_ids)
-        pre_cleanup_groups = EntityGroups.from_edges(positive_edges, all_record_ids)
-        graph_seconds = time.perf_counter() - graph_start
+            kept_edges, removed_by_precleanup = pre_cleanup(
+                positive_edges, edge_blockings, self.pre_cleanup_config
+            )
+
+            components, cleanup_report = gralmatch_cleanup(
+                kept_edges, self.cleanup_config
+            )
+
+            all_record_ids = [record.record_id for record in dataset]
+            groups = self._components_to_groups(components, all_record_ids)
+            pre_cleanup_groups = EntityGroups.from_edges(positive_edges, all_record_ids)
 
         return PipelineResult(
             candidates=candidates,
@@ -131,26 +147,11 @@ class EntityGroupMatchingPipeline:
             cleanup_report=cleanup_report,
             groups=groups,
             pre_cleanup_groups=pre_cleanup_groups,
-            inference_seconds=inference_seconds,
-            graph_seconds=graph_seconds,
-            blocking_seconds=blocking_seconds,
-            timings={
-                "blocking": blocking_seconds,
-                "pairwise_matching": inference_seconds,
-                "graph_cleanup": graph_seconds,
-            },
+            inference_seconds=profiler.stage_seconds("pairwise_matching"),
+            graph_seconds=profiler.stage_seconds("graph_cleanup"),
+            blocking_seconds=profiler.stage_seconds("blocking"),
+            timings=profiler.as_timings(),
         )
-
-    # -- helpers ---------------------------------------------------------------------
-
-    def _predict(
-        self, dataset: Dataset, candidates: Sequence[CandidatePair]
-    ) -> list[MatchDecision]:
-        record_pairs = [
-            (dataset.record(candidate.left_id), dataset.record(candidate.right_id))
-            for candidate in candidates
-        ]
-        return self.matcher.decide(record_pairs)
 
     @staticmethod
     def _components_to_groups(

@@ -19,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
-from repro.graphs.components import connected_components
-from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.union_find import DisjointSet
 
 
 @dataclass(frozen=True)
@@ -65,17 +65,17 @@ def pre_cleanup(
     for (u, v), blocking in edge_blockings.items():
         lookup[canonical_edge(u, v)] = blocking
 
-    graph = Graph(edge_list)
-    oversized_nodes: set[str] = set()
-    for component in connected_components(graph):
-        if len(component) > config.max_component_size:
-            oversized_nodes.update(component)
+    # Component sizing via union-find: only the size of each node's
+    # component matters here, so the adjacency graph is never materialised.
+    dsu = DisjointSet()
+    for u, v in edge_list:
+        dsu.union(u, v)
 
     kept: list[Edge] = []
     removed: set[Edge] = set()
     for edge in edge_list:
-        u, v = edge
-        in_oversized = u in oversized_nodes and v in oversized_nodes
+        u, _ = edge  # both endpoints share a component by construction
+        in_oversized = dsu.component_size(u) > config.max_component_size
         if in_oversized and lookup.get(edge) == config.target_blocking:
             removed.add(edge)
         else:

@@ -39,6 +39,7 @@ from repro.datagen.records import Dataset
 from repro.evaluation.splits import DatasetSplits, split_dataset
 from repro.matching.models import MODEL_SPECS, ModelSpec
 from repro.matching.training import FineTuner
+from repro.runtime import RuntimeConfig
 
 
 @dataclass
@@ -66,6 +67,9 @@ class ExperimentConfig:
     #: blocking.  ``None`` falls back to the ground-truth issuer groups
     #: (oracle issuer matching), which is what the unit benches use.
     issuer_groups: list[list[str]] | None = field(default=None)
+    #: Execution-engine settings (workers, batch size, pool flavour);
+    #: ``None`` runs the serial engine.
+    runtime: RuntimeConfig | None = None
 
 
 @dataclass
@@ -183,6 +187,7 @@ class EntityGroupMatchingExperiment:
             blocking=self.build_blocking(),
             cleanup_config=cleanup_config,
             pre_cleanup_config=self.build_pre_cleanup_config(),
+            runtime=self.config.runtime,
         )
         result = pipeline.run(self.dataset)
         return self._score(spec, cleanup_config, result)

@@ -11,16 +11,29 @@ from collections import deque
 from collections.abc import Iterable
 
 from repro.graphs.graph import Graph, Node
+from repro.graphs.union_find import union_find_components
 
 
 def connected_components(graph: Graph) -> list[set[Node]]:
     """Return the connected components of ``graph`` as a list of node sets.
 
-    Components are discovered with an iterative breadth-first search so that
-    very large components (the problematic case GraLMatch is designed for)
-    do not overflow the recursion limit.  The result is sorted by decreasing
-    size, then by the smallest representation of a member node, so output is
-    deterministic.
+    Components are computed with a disjoint-set forest (path compression +
+    union by rank), which the clean-up hot paths recompute after every
+    edge-removal round; :func:`bfs_connected_components` is the original
+    breadth-first implementation, kept as the independent reference the
+    property-based tests cross-check against.  The result is sorted by
+    decreasing size, then by the smallest representation of a member node,
+    so output is deterministic.
+    """
+    return union_find_components(graph.edges(), graph.nodes())
+
+
+def bfs_connected_components(graph: Graph) -> list[set[Node]]:
+    """Reference implementation of :func:`connected_components` via BFS.
+
+    Iterative breadth-first search, so very large components (the
+    problematic case GraLMatch is designed for) do not overflow the
+    recursion limit.  Ordering is identical to the union-find version.
     """
     seen: set[Node] = set()
     components: list[set[Node]] = []

@@ -72,6 +72,23 @@ class PairwiseMatcher(ABC):
             for (left, right), probability in zip(pairs, probabilities)
         ]
 
+    def decide_batches(
+        self, batches: Sequence[Sequence[RecordPair]]
+    ) -> list[list[MatchDecision]]:
+        """Decide several batches of pairs through one batched entry point.
+
+        This is the inference path of the execution engine: each batch is
+        one (vectorised) :meth:`decide` call, so per-call overhead is
+        amortized over ``batch_size`` pairs while the *numeric batch shape
+        stays exactly the chunking the engine chose*.  That shape stability
+        is deliberate — BLAS reductions are not bitwise-reproducible across
+        matrix shapes, so flattening batches into one fused call can flip
+        borderline probabilities at the last ULP and break the engine's
+        serial/parallel determinism guarantee.  Matchers whose arithmetic
+        is shape-independent may override this with a fused implementation.
+        """
+        return [self.decide(batch) for batch in batches]
+
     def score_pairs(self, pairs: Sequence[RecordPair]) -> list[ScoredPair]:
         """Return scored pairs without applying the threshold."""
         probabilities = self.predict_proba(pairs)

@@ -1,0 +1,26 @@
+"""Batched, optionally parallel execution engine for the matching pipeline.
+
+The runtime separates *what* the pipeline computes from *how* it is
+executed.  :class:`RuntimeConfig` selects the worker count, chunk size and
+pool flavour; :class:`PipelineRuntime` executes the data-parallel stages
+(candidate generation, pairwise inference); :class:`ChunkScheduler` is the
+underlying order-preserving fan-out primitive; :class:`StageProfiler`
+records stage and per-chunk wall-clock timings.
+
+Serial and parallel execution are guaranteed to produce identical results —
+the regression suite pins this on a golden dataset.
+"""
+
+from repro.runtime.config import EXECUTOR_KINDS, RuntimeConfig
+from repro.runtime.engine import PipelineRuntime
+from repro.runtime.profiler import StageProfiler
+from repro.runtime.scheduler import ChunkScheduler, chunked
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "RuntimeConfig",
+    "PipelineRuntime",
+    "StageProfiler",
+    "ChunkScheduler",
+    "chunked",
+]

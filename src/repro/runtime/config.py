@@ -1,0 +1,59 @@
+"""Configuration of the batched pipeline execution engine.
+
+The runtime splits the data-parallel pipeline stages (candidate generation
+and pairwise inference) into chunks and fans them out over a
+:mod:`concurrent.futures` worker pool.  Both knobs matter independently:
+
+* ``workers`` bounds the parallelism,
+* ``batch_size`` bounds the per-task granularity — large enough to amortize
+  scheduling (and, for process pools, pickling) overhead, small enough to
+  keep all workers busy and the per-chunk timings informative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Executor kinds accepted by :class:`RuntimeConfig`.
+EXECUTOR_KINDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How the pipeline's data-parallel stages are executed.
+
+    The default configuration (one worker) is the fully serial engine; it
+    batches pairwise inference but never spawns a pool, so library users pay
+    nothing for the parallel machinery unless they opt in.
+    """
+
+    #: Number of worker slots; 1 means serial execution (no pool).
+    workers: int = 1
+    #: Candidate pairs per inference chunk.
+    batch_size: int = 2048
+    #: Pool flavour used when ``workers > 1``: "process" achieves real
+    #: CPU parallelism for pure-Python matchers (the GIL serialises
+    #: "thread"), while "thread" avoids pickling and suits matchers that
+    #: release the GIL (numpy-heavy forward passes) or do I/O.
+    executor: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be a positive integer, got {self.workers}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be a positive integer, got {self.batch_size}"
+            )
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+    @classmethod
+    def serial(cls, batch_size: int = 2048) -> "RuntimeConfig":
+        """The serial engine (explicit spelling of the default)."""
+        return cls(workers=1, batch_size=batch_size)

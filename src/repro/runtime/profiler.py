@@ -1,0 +1,61 @@
+"""Stage and chunk profiling for pipeline runs.
+
+The profiler collects wall-clock timings at two granularities: whole stages
+("blocking", "pairwise_matching", "graph_cleanup") and — when a stage is
+executed in chunks — the individual chunk durations.  Chunk durations are
+measured where the work happens (inside the worker for pooled execution), so
+they reflect compute time, not queueing delay.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+
+class StageProfiler:
+    """Records per-stage and per-chunk wall-clock timings of one run."""
+
+    def __init__(self) -> None:
+        self._stages: dict[str, float] = {}
+        self._chunks: dict[str, list[float]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a whole stage: ``with profiler.stage("blocking"): ...``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._stages[name] = time.perf_counter() - start
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        self._stages[name] = seconds
+
+    def record_chunk(self, stage: str, seconds: float) -> None:
+        """Append one chunk duration to ``stage`` (chunks are ordered)."""
+        self._chunks.setdefault(stage, []).append(seconds)
+
+    # -- reading -----------------------------------------------------------
+
+    def stage_seconds(self, name: str) -> float:
+        return self._stages.get(name, 0.0)
+
+    def chunk_seconds(self, stage: str) -> list[float]:
+        return list(self._chunks.get(stage, []))
+
+    def as_timings(self) -> dict[str, float]:
+        """Flatten into the ``PipelineResult.timings`` dictionary.
+
+        Stage totals keep their plain names; chunk durations are keyed
+        ``"<stage>/chunk<index>"`` so a flat ``dict[str, float]`` remains
+        backward compatible for consumers that only read the stage keys.
+        """
+        timings: dict[str, float] = dict(self._stages)
+        for stage, chunks in self._chunks.items():
+            for index, seconds in enumerate(chunks):
+                timings[f"{stage}/chunk{index:03d}"] = seconds
+        return timings

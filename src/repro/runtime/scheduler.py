@@ -1,0 +1,150 @@
+"""The chunked scheduler: deterministic fan-out over a worker pool.
+
+The scheduler owns exactly one concern: run one function over a list of
+chunks — serially or on a :mod:`concurrent.futures` pool — and return the
+per-chunk results *in submission order*, so pooled execution is
+indistinguishable from serial execution for any per-chunk-pure function.
+Out-of-order completion never leaks into results, which is what makes the
+parallel pipeline byte-identical to the serial one.
+
+Worker functions used with the process pool must be picklable: module-level
+functions (optionally wrapped in :func:`functools.partial`) qualify,
+closures and lambdas do not.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.profiler import StageProfiler
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def chunked(items: Sequence[T], size: int) -> list[list[T]]:
+    """Split ``items`` into consecutive chunks of at most ``size`` elements.
+
+    The concatenation of the chunks is exactly ``items``; the empty sequence
+    yields no chunks.
+    """
+    if size < 1:
+        raise ValueError(f"chunk size must be a positive integer, got {size}")
+    return [list(items[start:start + size]) for start in range(0, len(items), size)]
+
+
+def timed_call(fn: Callable[[T], R], chunk: T) -> tuple[R, float]:
+    """Run ``fn(chunk)`` and return ``(result, seconds)``.
+
+    Module-level so that ``partial(timed_call, fn)`` stays picklable for the
+    process pool; the duration is measured inside the worker and therefore
+    excludes queueing and result-transfer time.
+    """
+    start = time.perf_counter()
+    result = fn(chunk)
+    return result, time.perf_counter() - start
+
+
+#: Per-worker shared state installed by the process-pool initializer, so a
+#: large shared object (a matcher with weight matrices, a dataset) is
+#: pickled once per *worker* instead of once per *chunk task*.
+_worker_shared: Any = None
+
+
+def _install_shared(value: Any) -> None:
+    global _worker_shared
+    _worker_shared = value
+
+
+def _timed_shared_call(fn: Callable[[Any, T], R], chunk: T) -> tuple[R, float]:
+    """Worker task: ``fn(shared, chunk)`` with the per-worker shared state."""
+    return timed_call(partial(fn, _worker_shared), chunk)
+
+
+class ChunkScheduler:
+    """Runs chunk functions according to a :class:`RuntimeConfig`."""
+
+    def __init__(self, config: RuntimeConfig | None = None) -> None:
+        self.config = config or RuntimeConfig()
+
+    # -- executors ---------------------------------------------------------
+
+    def _make_executor(self, num_tasks: int, initializer_state: Any = None) -> Executor:
+        # The pool lives for one map_chunks call: the process-pool
+        # initializer binds the workers to this call's shared state, so a
+        # longer-lived pool would serve stale state to the next stage.
+        # (Persistent pools across runs are a ROADMAP item.)
+        workers = min(self.config.workers, num_tasks)
+        if self.config.executor == "process":
+            if initializer_state is not None:
+                return ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_install_shared,
+                    initargs=(initializer_state,),
+                )
+            return ProcessPoolExecutor(max_workers=workers)
+        return ThreadPoolExecutor(max_workers=workers)
+
+    def _should_pool(self, num_tasks: int) -> bool:
+        return self.config.is_parallel and num_tasks > 1
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_chunks(
+        self,
+        fn: Callable[..., Any],
+        chunks: Sequence[Any],
+        *,
+        stage: str | None = None,
+        profiler: StageProfiler | None = None,
+        shared: Any = None,
+    ) -> list[Any]:
+        """Apply ``fn`` to every chunk, preserving chunk order.
+
+        Without ``shared``, ``fn`` is called as ``fn(chunk)``.  With
+        ``shared``, ``fn`` is called as ``fn(shared, chunk)`` and the shared
+        object is shipped to each process-pool worker exactly once (via the
+        pool initializer) instead of riding along with every chunk task —
+        thread and serial execution pass it by reference for free.
+
+        With ``stage`` and ``profiler`` set, each chunk's in-worker duration
+        is recorded via :meth:`StageProfiler.record_chunk`.  Serial execution
+        (one worker, or a single chunk) runs in-process without a pool.
+        """
+        if not chunks:
+            return []
+        bound = fn if shared is None else partial(fn, shared)
+        if not self._should_pool(len(chunks)):
+            results = []
+            for chunk in chunks:
+                result, seconds = timed_call(bound, chunk)
+                if profiler is not None and stage is not None:
+                    profiler.record_chunk(stage, seconds)
+                results.append(result)
+            return results
+
+        # Decided once: process pools receive `shared` through the worker
+        # initializer (pickled once per worker) and tasks fetch it from
+        # worker state; all other routes carry it by reference via `bound`.
+        use_initializer = shared is not None and self.config.executor == "process"
+        with self._make_executor(
+            len(chunks), initializer_state=shared if use_initializer else None
+        ) as executor:
+            futures: list[Future] = [
+                executor.submit(_timed_shared_call, fn, chunk)
+                if use_initializer
+                else executor.submit(timed_call, bound, chunk)
+                for chunk in chunks
+            ]
+            results = []
+            for future in futures:  # submission order, not completion order
+                result, seconds = future.result()
+                if profiler is not None and stage is not None:
+                    profiler.record_chunk(stage, seconds)
+                results.append(result)
+            return results

@@ -58,7 +58,12 @@ class TestPipelineOnFigure2:
         )
         result = pipeline.run(companies)
         assert result.num_positive == len(result.positive_edges)
-        assert set(result.timings) == {"blocking", "pairwise_matching", "graph_cleanup"}
+        stage_keys = {"blocking", "pairwise_matching", "graph_cleanup"}
+        assert stage_keys <= set(result.timings)
+        # Beyond the stage totals, the runtime records only per-chunk detail.
+        assert all(
+            key.split("/chunk")[0] in stage_keys for key in result.timings
+        )
         assert result.inference_seconds >= 0
         assert len(result.decisions) == result.num_candidates
 

@@ -1,0 +1,100 @@
+"""Union-find correctness: unit behaviour plus property-based equivalence
+with the BFS reference implementation of connected components."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    DisjointSet,
+    Graph,
+    bfs_connected_components,
+    connected_components,
+    union_find_components,
+)
+
+nodes = st.integers(min_value=0, max_value=30).map(lambda i: f"n{i:02d}")
+edges = st.lists(
+    st.tuples(nodes, nodes).filter(lambda edge: edge[0] != edge[1]),
+    max_size=120,
+)
+
+
+class TestDisjointSet:
+    def test_singletons_after_add(self):
+        dsu = DisjointSet(["a", "b"])
+        assert dsu.find("a") == "a"
+        assert not dsu.connected("a", "b")
+        assert dsu.component_size("a") == 1
+
+    def test_union_merges_and_tracks_size(self):
+        dsu = DisjointSet()
+        dsu.union("a", "b")
+        dsu.union("b", "c")
+        assert dsu.connected("a", "c")
+        assert dsu.component_size("a") == 3
+        assert len(dsu) == 3
+
+    def test_self_union_is_a_noop(self):
+        dsu = DisjointSet()
+        dsu.union("a", "a")
+        assert dsu.component_size("a") == 1
+
+    def test_find_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            DisjointSet().find("ghost")
+
+    def test_connected_with_unknown_node_is_false(self):
+        dsu = DisjointSet(["a"])
+        assert not dsu.connected("a", "ghost")
+
+    def test_path_compression_flattens_the_forest(self):
+        dsu = DisjointSet()
+        for i in range(100):
+            dsu.union(f"n{i}", f"n{i + 1}")
+        root = dsu.find("n0")
+        assert all(dsu._parent[dsu._parent[f"n{i}"]] == root for i in range(101))
+
+    def test_components_ordering_by_size_then_repr(self):
+        dsu = DisjointSet(["z"])
+        dsu.union("b", "c")
+        dsu.union("d", "e")
+        dsu.union("e", "f")
+        assert dsu.components() == [{"d", "e", "f"}, {"b", "c"}, {"z"}]
+
+
+class TestUnionFindEqualsBfs:
+    """The satellite property: on random edge sets, union-find must equal
+    the BFS reference exactly — same partition, same deterministic order."""
+
+    @given(edges=edges)
+    @settings(max_examples=200, deadline=None)
+    def test_same_components_same_order(self, edges):
+        graph = Graph(edges)
+        assert union_find_components(graph.edges(), graph.nodes()) == (
+            bfs_connected_components(graph)
+        )
+
+    @given(edges=edges, isolated=st.sets(nodes, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_isolated_nodes_become_singletons(self, edges, isolated):
+        graph = Graph(edges)
+        for node in isolated:
+            graph.add_node(node)
+        assert union_find_components(graph.edges(), graph.nodes()) == (
+            bfs_connected_components(graph)
+        )
+
+    def test_connected_components_uses_union_find_result(self):
+        rng = random.Random(5)
+        graph = Graph()
+        for _ in range(300):
+            u, v = rng.sample(range(80), 2)
+            graph.add_edge(f"r{u}", f"r{v}")
+        assert connected_components(graph) == bfs_connected_components(graph)
+
+    def test_mixed_node_types_fall_back_to_repr_ordering(self):
+        graph = Graph([(1, "a"), ("b", 2.5)])
+        assert connected_components(graph) == bfs_connected_components(graph)

@@ -25,6 +25,43 @@ class TestParser:
         assert args.kind == "securities"
         assert args.model == "logistic"
 
+    def test_match_runtime_defaults_are_serial(self):
+        args = build_parser().parse_args(["match", "data.csv"])
+        assert args.workers == 1
+        assert args.batch_size == 2048
+        assert args.executor == "process"
+
+    def test_match_runtime_flags(self):
+        args = build_parser().parse_args([
+            "match", "data.csv", "--workers", "4",
+            "--batch-size", "512", "--executor", "thread",
+        ])
+        assert args.workers == 4
+        assert args.batch_size == 512
+        assert args.executor == "thread"
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--workers", "0"),
+        ("--workers", "-2"),
+        ("--workers", "two"),
+        ("--batch-size", "0"),
+        ("--batch-size", "-16"),
+        ("--batch-size", "1.5"),
+    ])
+    def test_invalid_runtime_values_fail_with_clear_error(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["match", "data.csv", flag, value])
+        assert excinfo.value.code == 2
+        assert "expected a positive integer" in capsys.readouterr().err
+
+    def test_unknown_executor_is_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["match", "data.csv", "--workers", "2", "--executor", "fiber"]
+            )
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestGenerateCommand:
     def test_writes_csv_files(self, tmp_path, capsys):
@@ -79,3 +116,35 @@ class TestMatchCommand:
 
     def test_missing_file(self, tmp_path):
         assert main(["match", str(tmp_path / "missing.csv")]) == 2
+
+    def test_parallel_match_runs_end_to_end(self, tmp_path, capsys):
+        benchmark = generate_benchmark(GenerationConfig(num_entities=40, num_sources=3, seed=3))
+        path = write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
+        exit_code = main([
+            "match", str(path), "--kind", "companies",
+            "--model", "logistic", "--epochs", "1",
+            "--workers", "2", "--batch-size", "64", "--executor", "thread",
+        ])
+        assert exit_code == 0
+        assert "Post F1" in capsys.readouterr().out
+
+    def test_parallel_match_reproduces_serial_output(self, tmp_path, capsys):
+        benchmark = generate_benchmark(GenerationConfig(num_entities=30, num_sources=3, seed=6))
+        path = write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
+        base = ["match", str(path), "--kind", "companies", "--model", "logistic",
+                "--epochs", "1"]
+        assert main(base) == 0
+        serial_output = capsys.readouterr().out
+        assert main(base + ["--workers", "2", "--batch-size", "32",
+                            "--executor", "thread"]) == 0
+        parallel_output = capsys.readouterr().out
+
+        def score_cells(text):
+            # All table cells except the wall-clock "Inference (s)" column.
+            return [
+                [cell.strip() for cell in line.split("|")][:-1]
+                for line in text.splitlines()
+                if "|" in line
+            ]
+
+        assert score_cells(parallel_output) == score_cells(serial_output)
