@@ -16,7 +16,7 @@ from repro.core.cleanup_variants import adaptive_cleanup, bridge_removal_cleanup
 from repro.core.groups import EntityGroups
 from repro.core.metrics import group_matching_scores
 from repro.evaluation import format_table
-from repro.matching import IdOverlapMatcher, ThresholdNameMatcher
+from repro.matching import ThresholdNameMatcher
 from repro.blocking import CombinedBlocking, IdOverlapBlocking, TokenOverlapBlocking
 from repro.core.pipeline import EntityGroupMatchingPipeline
 

@@ -1,23 +1,26 @@
-"""Quickstart: end-to-end entity group matching on a small synthetic benchmark.
+"""Quickstart: end-to-end entity group matching through the declarative API.
 
-This walks through the full Figure 1 workflow of the paper:
+This walks through the full Figure 1 workflow of the paper using the
+high-level :mod:`repro.api` facade:
 
 1. generate a multi-source companies dataset with ground truth,
-2. fine-tune a pairwise matcher (the DistilBERT stand-in) on the train split,
-3. block candidate pairs, predict matches, run the GraLMatch Graph Cleanup,
+2. describe the experiment as a declarative :class:`repro.ExperimentSpec`
+   (the same dataclass `repro run config.toml` loads from disk),
+3. run it — fine-tuning, blocking, matching and the GraLMatch Graph
+   Cleanup all happen inside ``run_experiment``,
 4. report the three-stage scores (pairwise / pre-cleanup / post-cleanup).
+
+For the low-level constructor API (building the pipeline object by object
+instead of from a spec), see ``examples/financial_matching.py`` — both
+layers stay supported and produce identical results.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core.metrics import group_matching_scores, pairwise_scores
-from repro.core.pipeline import EntityGroupMatchingPipeline
-from repro.core.cleanup import CleanupConfig
-from repro.blocking import CombinedBlocking, IdOverlapBlocking, TokenOverlapBlocking
+from repro import ExperimentSpec, run_experiment
 from repro.datagen import GenerationConfig, generate_benchmark
-from repro.evaluation import format_table, split_dataset
-from repro.matching.pairs import as_record_pairs
-from repro.matching.training import FineTuner
+from repro.evaluation import format_table
+from repro.specs import ComponentSpec, PipelineSpec, RuntimeSpec
 
 
 def main() -> None:
@@ -31,36 +34,38 @@ def main() -> None:
           f"for {len(companies.entity_groups())} entities "
           f"across {len(companies.sources)} sources")
 
-    # 2. Fine-tune the pairwise matcher on the train/validation splits.
-    splits = split_dataset(companies, seed=0)
-    tuner = FineTuner(negative_ratio=5, num_epochs=3, seed=0)
-    fine_tuned = tuner.fine_tune(
-        "distilbert-128-all", companies,
-        splits.train_entities, splits.validation_entities,
+    # 2. Describe the whole experiment as data.  Components are referenced
+    #    by registry name; omitting [[pipeline.blocking]] would derive the
+    #    Table 2 recipe from the dataset kind instead.
+    spec = ExperimentSpec(
+        kind="companies",
+        model="distilbert-128-all",
+        epochs=3,
+        seed=0,
+        pipeline=PipelineSpec(
+            blocking=(
+                ComponentSpec("id_overlap"),
+                ComponentSpec("token_overlap", {"top_n": 5}),
+            ),
+            runtime=RuntimeSpec(workers=1),
+        ),
     )
-    print(f"Fine-tuned {fine_tuned.name} on {fine_tuned.num_training_pairs} pairs "
-          f"in {fine_tuned.training_seconds:.1f}s")
+    print("\nThe spec as TOML (what `repro run` reads from disk):\n")
+    print(spec.to_toml())
 
-    # 3. Run the end-to-end pipeline (blocking -> matching -> GraLMatch).
-    pipeline = EntityGroupMatchingPipeline(
-        matcher=fine_tuned.matcher,
-        blocking=CombinedBlocking([IdOverlapBlocking(), TokenOverlapBlocking(top_n=5)]),
-        cleanup_config=CleanupConfig.for_num_sources(len(companies.sources)),
-    )
-    result = pipeline.run(companies)
-    print(f"Blocking produced {result.num_candidates} candidate pairs; "
-          f"{result.num_positive} predicted as matches; "
-          f"GraLMatch removed {result.cleanup_report.num_removed} edges")
+    # 3. Run it.  `run_experiment` fine-tunes the matcher on the train split,
+    #    runs blocking -> matching -> GraLMatch on the whole dataset and
+    #    scores all three stages; pass a path-bearing spec instead of a
+    #    dataset to run straight from CSV files.
+    result = run_experiment(spec, dataset=companies)
+    pipeline_result = result.pipeline_result
+    print(f"Blocking produced {pipeline_result.num_candidates} candidate pairs; "
+          f"{pipeline_result.num_positive} predicted as matches; "
+          f"GraLMatch removed {pipeline_result.cleanup_report.num_removed} edges")
 
-    # 4. Score the three stages of Section 5.3.2.
-    truth = companies.true_matches()
-    rows = [
-        {"Stage": "Pairwise matching", **pairwise_scores(result.positive_edges, truth).as_row()},
-        {"Stage": "Pre Graph Cleanup", **group_matching_scores(result.pre_cleanup_groups, truth).as_row()},
-        {"Stage": "Post Graph Cleanup", **group_matching_scores(result.groups, truth).as_row()},
-    ]
+    # 4. The three stages of Section 5.3.2, as one Table 4 row.
     print()
-    print(format_table(rows, title="Entity group matching (companies)"))
+    print(format_table([result.as_row()], title="Entity group matching (companies)"))
 
 
 if __name__ == "__main__":

@@ -7,9 +7,13 @@ re-exported here; see ``DESIGN.md`` for the full system inventory and
 
 High-level entry points
 -----------------------
+* :mod:`repro.api` — the declarative facade: ``load_spec`` /
+  ``build_pipeline`` / ``run_experiment`` over JSON/TOML experiment specs
+  (:mod:`repro.specs`) and named component registries
+  (:mod:`repro.registry`).
 * :class:`repro.core.pipeline.EntityGroupMatchingPipeline` — the end-to-end
   workflow of Figure 1 (blocking → pairwise matching → graph clean-up →
-  entity groups).
+  entity groups), an ordered sequence of named stages.
 * :func:`repro.core.cleanup.gralmatch_cleanup` — Algorithm 1.
 * :mod:`repro.datagen` — synthetic multi-source companies / securities / WDC
   benchmark generators.
@@ -32,6 +36,17 @@ __version__ = "1.0.0"
 
 # Public name -> (module, attribute) for lazy resolution.
 _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
+    # The declarative facade (specs + registries + high-level entry points).
+    "load_spec": ("repro.api", "load_spec"),
+    "build_pipeline": ("repro.api", "build_pipeline"),
+    "run_experiment": ("repro.api", "run_experiment"),
+    "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
+    "PipelineSpec": ("repro.specs", "PipelineSpec"),
+    "ComponentSpec": ("repro.specs", "ComponentSpec"),
+    "SpecValidationError": ("repro.specs", "SpecValidationError"),
+    "register_blocking": ("repro.registry", "register_blocking"),
+    "register_matcher": ("repro.registry", "register_matcher"),
+    "register_cleanup": ("repro.registry", "register_cleanup"),
     "CleanupConfig": ("repro.core.cleanup", "CleanupConfig"),
     "gralmatch_cleanup": ("repro.core.cleanup", "gralmatch_cleanup"),
     "EntityGroups": ("repro.core.groups", "EntityGroups"),

@@ -1,0 +1,138 @@
+"""The high-level facade: specs in, pipelines and results out.
+
+Three entry points cover the config-driven workflow end to end:
+
+* :func:`load_spec` — read an :class:`~repro.specs.ExperimentSpec` from a
+  JSON or TOML file (or an already-parsed mapping),
+* :func:`build_pipeline` — resolve a spec into a runnable
+  :class:`~repro.core.pipeline.EntityGroupMatchingPipeline` around a given
+  matcher,
+* :func:`run_experiment` — the whole Table 4 protocol (fine-tune, run,
+  score) from a spec.
+
+The CLI's ``repro run config.toml`` is a thin wrapper over these, and
+``repro match`` builds a spec internally — there is exactly one code path
+from configuration to results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from collections.abc import Mapping
+from typing import Any
+
+from repro.specs import ExperimentSpec, PipelineSpec, SpecValidationError
+
+
+def load_spec(source: str | Path | Mapping[str, Any]) -> ExperimentSpec:
+    """Load an :class:`ExperimentSpec` from a file path or parsed mapping.
+
+    Paths are dispatched on suffix: ``.toml`` parses as TOML, ``.json`` as
+    JSON; anything else raises a :class:`SpecValidationError` naming the
+    file.  Relative dataset paths inside the spec are interpreted against
+    the current working directory (not the spec file), matching how the CLI
+    documents them.
+    """
+    if isinstance(source, Mapping):
+        return ExperimentSpec.from_dict(source)
+    path = Path(source)
+    if not path.exists():
+        raise SpecValidationError(str(path), "spec file not found")
+    text = path.read_text(encoding="utf-8")
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        return ExperimentSpec.from_toml(text)
+    if suffix == ".json":
+        return ExperimentSpec.from_json(text)
+    raise SpecValidationError(
+        str(path), f"unsupported spec format {suffix!r}; expected .toml or .json"
+    )
+
+
+def _effective_pipeline_spec(
+    spec: ExperimentSpec | PipelineSpec,
+) -> tuple[PipelineSpec, str | None, dict[str, dict[str, Any]]]:
+    """Normalise either spec flavour to (pipeline spec, kind, extra params).
+
+    The extra params carry the experiment-level ``token_overlap`` top-n
+    default through the same injection mechanism the experiment harness
+    uses, so both construction paths share one resolver
+    (:meth:`PipelineSpec.build_blocking`).
+    """
+    if isinstance(spec, ExperimentSpec):
+        pipeline = spec.pipeline
+        if not pipeline.blocking:
+            pipeline = replace(pipeline, blocking=spec.blocking_specs)
+        return pipeline, spec.kind, {"token_overlap": {"top_n": spec.token_top_n}}
+    return spec, None, {}
+
+
+def build_pipeline(
+    spec: PipelineSpec | ExperimentSpec,
+    matcher,
+    dataset=None,
+    extra_blocking_params: Mapping[str, Mapping[str, Any]] | None = None,
+):
+    """Build the pipeline a spec describes, around an existing matcher.
+
+    ``dataset`` (optional) only informs derived defaults — ``mu`` from the
+    source count — it is not consumed.  ``extra_blocking_params`` injects
+    run-time-only constructor params by blocking name; an ``issuer_match``
+    blocking *requires* its company-group mapping this way (e.g.
+    ``{"issuer_match": {"issuer_groups": company_groups}}``) because the
+    mapping only exists at run time — the full experiment harness
+    (:func:`run_experiment`) injects the ground-truth oracle automatically.
+    Pass an :class:`ExperimentSpec` to inherit its kind-derived defaults,
+    or a bare :class:`PipelineSpec` for full manual control.
+    """
+    from repro.core.pipeline import EntityGroupMatchingPipeline
+
+    pipeline_spec, kind, extra = _effective_pipeline_spec(spec)
+    for name, params in (extra_blocking_params or {}).items():
+        extra[name] = {**extra.get(name, {}), **params}
+    num_sources = len(dataset.sources) if dataset is not None else None
+    return EntityGroupMatchingPipeline(
+        matcher=matcher,
+        blocking=pipeline_spec.build_blocking(extra),
+        cleanup_config=pipeline_spec.build_cleanup_config(num_sources),
+        pre_cleanup_config=pipeline_spec.build_pre_cleanup_config(kind),
+        runtime=pipeline_spec.runtime.to_runtime_config(),
+        cleanup_strategy=pipeline_spec.cleanup.strategy,
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec | str | Path | Mapping[str, Any],
+    dataset=None,
+):
+    """Run the full fine-tune + match + score experiment a spec describes.
+
+    ``dataset`` may be passed directly (a
+    :class:`~repro.datagen.records.Dataset`); otherwise the spec's
+    ``dataset`` CSV path is loaded.  Returns the
+    :class:`~repro.evaluation.experiment.ExperimentResult` (one Table 4
+    row, with the full :class:`~repro.core.pipeline.PipelineResult`
+    attached).
+    """
+    from repro.datagen.io import read_dataset_csv
+    from repro.evaluation.experiment import EntityGroupMatchingExperiment
+
+    if not isinstance(spec, ExperimentSpec):
+        spec = load_spec(spec)
+    if dataset is None:
+        if spec.dataset is None:
+            raise SpecValidationError(
+                "experiment.dataset", "no dataset path in the spec and none passed in"
+            )
+        dataset_path = Path(spec.dataset)
+        if not dataset_path.exists():
+            raise SpecValidationError(
+                "experiment.dataset", f"dataset file not found: {dataset_path}"
+            )
+        dataset = read_dataset_csv(dataset_path)
+    experiment = EntityGroupMatchingExperiment(dataset, spec.to_experiment_config())
+    return experiment.run()
+
+
+__all__ = ["build_pipeline", "load_spec", "run_experiment"]

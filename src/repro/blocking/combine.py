@@ -6,8 +6,10 @@ from collections.abc import Sequence
 
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset
+from repro.registry import register_blocking
 
 
+@register_blocking("combined")
 class CombinedBlocking(Blocking):
     """Union of the candidate pairs of several blockings.
 

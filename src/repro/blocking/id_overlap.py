@@ -18,9 +18,11 @@ from collections import defaultdict
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
 from repro.datagen.identifiers import SECURITY_ID_FIELDS
 from repro.datagen.records import CompanyRecord, Dataset, SecurityRecord
+from repro.registry import register_blocking
 from repro.text.normalize import normalize_identifier
 
 
+@register_blocking("id_overlap")
 class IdOverlapBlocking(Blocking):
     """Candidate pairs based exclusively on identifier attribute overlap."""
 

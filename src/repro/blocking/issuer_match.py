@@ -15,8 +15,10 @@ from collections.abc import Iterable, Mapping
 
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset, SecurityRecord
+from repro.registry import register_blocking
 
 
+@register_blocking("issuer_match")
 class IssuerMatchBlocking(Blocking):
     """Candidates among securities whose issuers were matched together."""
 

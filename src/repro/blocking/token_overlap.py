@@ -20,9 +20,11 @@ from collections import Counter, defaultdict
 
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset, Record
+from repro.registry import register_blocking
 from repro.text.tokenize import word_tokenize
 
 
+@register_blocking("token_overlap")
 class TokenOverlapBlocking(Blocking):
     """Top-n most token-overlapping records across different sources."""
 

@@ -7,7 +7,10 @@ accompanying code exposes:
   benchmark (optionally the WDC-Products-style dataset) and write CSVs,
 * ``repro stats`` — print the Table 1 statistics of a dataset CSV,
 * ``repro match`` — run the end-to-end entity group matching experiment on a
-  generated dataset and print the three-stage scores (a Table 4 row).
+  generated dataset and print the three-stage scores (a Table 4 row),
+* ``repro run`` — the same experiment driven by a declarative JSON/TOML
+  spec file (see :mod:`repro.specs`); ``repro match`` is a thin shim that
+  builds such a spec from its flags, so both commands share one code path.
 
 Installed as ``repro`` (see ``pyproject.toml``) or runnable as
 ``python -m repro.cli``.
@@ -22,10 +25,16 @@ from collections.abc import Sequence
 
 from repro.datagen import GenerationConfig, dataset_statistics, generate_benchmark
 from repro.datagen.io import read_dataset_csv, write_dataset_csv
+from repro.datagen.records import Dataset
 from repro.datagen.wdc import WdcConfig, generate_wdc_products
 from repro.evaluation import format_table
-from repro.evaluation.experiment import EntityGroupMatchingExperiment, ExperimentConfig
-from repro.runtime import EXECUTOR_KINDS, RuntimeConfig
+from repro.runtime import EXECUTOR_KINDS
+from repro.specs import (
+    ExperimentSpec,
+    PipelineSpec,
+    RuntimeSpec,
+    SpecValidationError,
+)
 
 
 def positive_int(text: str) -> int:
@@ -41,6 +50,20 @@ def positive_int(text: str) -> int:
     return value
 
 
+def _require_dataset(path: Path) -> Dataset | None:
+    """Load a dataset CSV, or report the missing file identically everywhere.
+
+    Every dataset-consuming subcommand (``stats``, ``match``, ``run``) goes
+    through this helper so the error text and exit behaviour never drift:
+    on a missing file it prints ``error: dataset file not found: <path>`` to
+    stderr and returns ``None`` (the caller exits 2).
+    """
+    if not path.exists():
+        print(f"error: dataset file not found: {path}", file=sys.stderr)
+        return None
+    return read_dataset_csv(path)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testability)."""
     parser = argparse.ArgumentParser(
@@ -52,9 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate = subparsers.add_parser(
         "generate", help="generate the synthetic multi-source benchmark datasets"
     )
-    generate.add_argument("--entities", type=int, default=1_000,
+    generate.add_argument("--entities", type=positive_int, default=1_000,
                           help="number of company record groups to generate")
-    generate.add_argument("--sources", type=int, default=5,
+    generate.add_argument("--sources", type=positive_int, default=5,
                           help="number of data sources")
     generate.add_argument("--seed", type=int, default=0, help="generation seed")
     generate.add_argument("--wdc", action="store_true",
@@ -75,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="companies", help="dataset kind (selects the blocking recipe)")
     match.add_argument("--model", default="distilbert-128-all",
                        help="model spec name (see repro.matching.models.MODEL_SPECS)")
-    match.add_argument("--epochs", type=int, default=3, help="fine-tuning epochs")
+    match.add_argument("--epochs", type=positive_int, default=3, help="fine-tuning epochs")
     match.add_argument("--seed", type=int, default=0, help="split / sampling seed")
     match.add_argument("--workers", type=positive_int, default=1,
                        help="execution-engine worker slots (1 = serial engine)")
@@ -83,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="candidate pairs per pairwise-inference chunk")
     match.add_argument("--executor", choices=list(EXECUTOR_KINDS), default="process",
                        help="worker pool flavour used when --workers > 1")
+
+    run = subparsers.add_parser(
+        "run", help="run an experiment described by a declarative JSON/TOML spec"
+    )
+    run.add_argument("config", type=Path,
+                     help="path to an experiment spec (.toml or .json)")
+    run.add_argument("--dataset", type=Path, default=None,
+                     help="dataset CSV overriding the spec's experiment.dataset path")
     return parser
 
 
@@ -105,41 +136,79 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_stats(args: argparse.Namespace) -> int:
-    if not args.dataset.exists():
-        print(f"error: dataset file not found: {args.dataset}", file=sys.stderr)
+    dataset = _require_dataset(args.dataset)
+    if dataset is None:
         return 2
-    dataset = read_dataset_csv(args.dataset)
     row = dataset_statistics(dataset).as_row()
     print(format_table([row], title=f"Dataset statistics — {dataset.name}"))
     return 0
 
 
-def _command_match(args: argparse.Namespace) -> int:
-    if not args.dataset.exists():
-        print(f"error: dataset file not found: {args.dataset}", file=sys.stderr)
+def _run_spec(spec: ExperimentSpec, dataset_path: Path) -> int:
+    """Shared execution path of ``match`` and ``run``."""
+    from repro.api import run_experiment
+
+    dataset = _require_dataset(dataset_path)
+    if dataset is None:
         return 2
-    dataset = read_dataset_csv(args.dataset)
-    config = ExperimentConfig(
-        model=args.model,
-        dataset_kind=args.kind,
-        num_epochs=args.epochs,
-        seed=args.seed,
-        runtime=RuntimeConfig(
-            workers=args.workers,
-            batch_size=args.batch_size,
-            executor=args.executor,
-        ),
-    )
-    experiment = EntityGroupMatchingExperiment(dataset, config)
-    result = experiment.run()
+    result = run_experiment(spec, dataset=dataset)
     print(format_table([result.as_row()], title="Entity group matching result"))
     return 0
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec(
+            dataset=str(args.dataset),
+            kind=args.kind,
+            model=args.model,
+            epochs=args.epochs,
+            seed=args.seed,
+            pipeline=PipelineSpec(
+                runtime=RuntimeSpec(
+                    workers=args.workers,
+                    batch_size=args.batch_size,
+                    executor=args.executor,
+                ),
+            ),
+        )
+    except SpecValidationError as error:
+        # Flags map 1:1 onto spec keys (e.g. --model -> experiment.model),
+        # so the named-key message pinpoints the offending flag.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _run_spec(spec, args.dataset)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.api import load_spec
+
+    if not args.config.exists():
+        print(f"error: spec file not found: {args.config}", file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(args.config)
+    except SpecValidationError as error:
+        print(f"error: invalid spec {args.config}: {error}", file=sys.stderr)
+        return 2
+    dataset_path = args.dataset if args.dataset is not None else (
+        Path(spec.dataset) if spec.dataset else None
+    )
+    if dataset_path is None:
+        print(
+            f"error: {args.config} sets no experiment.dataset and no "
+            "--dataset was given",
+            file=sys.stderr,
+        )
+        return 2
+    return _run_spec(spec, dataset_path)
 
 
 _COMMANDS = {
     "generate": _command_generate,
     "stats": _command_stats,
     "match": _command_match,
+    "run": _command_run,
 }
 
 

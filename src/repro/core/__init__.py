@@ -10,8 +10,10 @@ This package is the paper's primary contribution:
 * :mod:`repro.core.precleanup` — the Pre Graph Cleanup of Section 4.2.1,
 * :mod:`repro.core.metrics` — pairwise and group precision / recall / F1 and
   the Cluster Purity Score,
+* :mod:`repro.core.stages` — the named pipeline stages and their shared
+  :class:`~repro.core.stages.PipelineContext`,
 * :mod:`repro.core.pipeline` — the end-to-end entity group matching workflow
-  of Figure 1.
+  of Figure 1, as an ordered stage sequence.
 """
 
 from repro.core.cleanup import CleanupConfig, CleanupReport, gralmatch_cleanup
@@ -25,9 +27,25 @@ from repro.core.metrics import (
 )
 from repro.core.pipeline import EntityGroupMatchingPipeline, PipelineResult, StageScores
 from repro.core.precleanup import pre_cleanup
+from repro.core.stages import (
+    BlockingStage,
+    GraphCleanupStage,
+    GroupingStage,
+    MatchingStage,
+    PipelineContext,
+    PipelineStage,
+    PreCleanupStage,
+)
 from repro.core.transitive import transitive_closure_edges, transitive_matches
 
 __all__ = [
+    "BlockingStage",
+    "GraphCleanupStage",
+    "GroupingStage",
+    "MatchingStage",
+    "PipelineContext",
+    "PipelineStage",
+    "PreCleanupStage",
     "CleanupConfig",
     "CleanupReport",
     "gralmatch_cleanup",

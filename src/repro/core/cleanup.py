@@ -29,6 +29,7 @@ from repro.graphs.betweenness import max_betweenness_edge
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Edge, Graph
 from repro.graphs.mincut import minimum_edge_cut
+from repro.registry import register_cleanup
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,7 @@ class CleanupReport:
         return len(self.removed_edges)
 
 
+@register_cleanup("gralmatch")
 def gralmatch_cleanup(
     edges: Iterable[tuple[str, str]],
     config: CleanupConfig | None = None,

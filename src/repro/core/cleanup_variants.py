@@ -25,8 +25,10 @@ from repro.graphs.bridges import bridges
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.graphs.validation import density
+from repro.registry import register_cleanup
 
 
+@register_cleanup("bridge_removal")
 def bridge_removal_cleanup(
     edges: Iterable[tuple[str, str]],
     config: CleanupConfig | None = None,
@@ -103,3 +105,18 @@ def adaptive_cleanup(
     final_components = connected_components(graph)
     report.final_largest_component = len(final_components[0]) if final_components else 0
     return [set(component) for component in final_components], report
+
+
+@register_cleanup("adaptive")
+def adaptive_cleanup_strategy(
+    edges: Iterable[tuple[str, str]],
+    config: CleanupConfig | None = None,
+) -> tuple[list[set[str]], CleanupReport]:
+    """Registry adapter for :func:`adaptive_cleanup`.
+
+    The adaptive strategy is density-driven, so the ``gamma``/``mu``
+    thresholds of ``config`` are intentionally ignored — the adapter exists
+    so declarative specs can select the strategy by name with the common
+    ``(edges, config)`` calling convention.
+    """
+    return adaptive_cleanup(edges)

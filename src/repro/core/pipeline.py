@@ -12,6 +12,12 @@ Steps, exactly as in Section 4:
 5. **Entity groups** — the connected components of the cleaned-up graph,
    interpreted as complete graphs (all transitive matches included).
 
+Each step is a named :class:`~repro.core.stages.PipelineStage` over a shared
+:class:`~repro.core.stages.PipelineContext`; ``run()`` just walks the stage
+list, so new stages (sharded blocking, decision caches, audits) can be
+inserted or swapped without touching it — see ``insert_before`` /
+``insert_after`` / ``replace_stage``.
+
 The pipeline never looks at ground truth; scoring lives in
 :mod:`repro.evaluation.experiment`.
 """
@@ -19,13 +25,21 @@ The pipeline never looks at ground truth; scoring lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Sequence
 
 from repro.blocking.base import Blocking, CandidatePair
-from repro.core.cleanup import CleanupConfig, CleanupReport, gralmatch_cleanup
+from repro.core.cleanup import CleanupConfig, CleanupReport
 from repro.core.groups import EntityGroups
 from repro.core.metrics import GroupMatchingScores, PairwiseScores
-from repro.core.precleanup import PreCleanupConfig, pre_cleanup
+from repro.core.precleanup import PreCleanupConfig
+from repro.core.stages import (
+    BlockingStage,
+    GraphCleanupStage,
+    GroupingStage,
+    MatchingStage,
+    PipelineContext,
+    PipelineStage,
+    PreCleanupStage,
+)
 from repro.datagen.records import Dataset
 from repro.graphs.graph import Edge
 from repro.matching.base import MatchDecision, PairwiseMatcher
@@ -78,7 +92,13 @@ class PipelineResult:
 
 
 class EntityGroupMatchingPipeline:
-    """Composable end-to-end entity group matching."""
+    """Composable end-to-end entity group matching.
+
+    The constructor assembles the five default stages; ``stages`` replaces
+    the whole sequence for callers that compose their own.  The stage list
+    is a plain mutable attribute — the editing helpers below are sugar over
+    it that locate stages by name.
+    """
 
     def __init__(
         self,
@@ -87,21 +107,62 @@ class EntityGroupMatchingPipeline:
         cleanup_config: CleanupConfig | None = None,
         pre_cleanup_config: PreCleanupConfig | None = None,
         runtime: PipelineRuntime | RuntimeConfig | None = None,
+        cleanup_strategy: str = "gralmatch",
+        stages: list[PipelineStage] | None = None,
     ) -> None:
         self.matcher = matcher
         self.blocking = blocking
         self.cleanup_config = cleanup_config or CleanupConfig()
         self.pre_cleanup_config = pre_cleanup_config or PreCleanupConfig()
+        self.cleanup_strategy = cleanup_strategy
         if runtime is None:
             runtime = PipelineRuntime()
         elif isinstance(runtime, RuntimeConfig):
             runtime = PipelineRuntime(runtime)
         self.runtime = runtime
+        self.stages: list[PipelineStage] = (
+            list(stages) if stages is not None else self.default_stages()
+        )
 
-    # -- the five steps -----------------------------------------------------------
+    def default_stages(self) -> list[PipelineStage]:
+        """The Figure 1 stage sequence for this pipeline's components."""
+        return [
+            BlockingStage(self.blocking),
+            MatchingStage(self.matcher),
+            PreCleanupStage(self.pre_cleanup_config),
+            GraphCleanupStage(self.cleanup_config, self.cleanup_strategy),
+            GroupingStage(),
+        ]
+
+    # -- stage editing ------------------------------------------------------
+
+    def stage_names(self) -> list[str]:
+        return [stage.name for stage in self.stages]
+
+    def _stage_index(self, name: str) -> int:
+        for index, stage in enumerate(self.stages):
+            if stage.name == name:
+                return index
+        raise KeyError(
+            f"no stage named {name!r}; stages: {self.stage_names()}"
+        )
+
+    def insert_before(self, name: str, stage: PipelineStage) -> None:
+        """Insert ``stage`` immediately before the stage named ``name``."""
+        self.stages.insert(self._stage_index(name), stage)
+
+    def insert_after(self, name: str, stage: PipelineStage) -> None:
+        """Insert ``stage`` immediately after the stage named ``name``."""
+        self.stages.insert(self._stage_index(name) + 1, stage)
+
+    def replace_stage(self, name: str, stage: PipelineStage) -> None:
+        """Swap the stage named ``name`` for ``stage``."""
+        self.stages[self._stage_index(name)] = stage
+
+    # -- the run ------------------------------------------------------------
 
     def run(self, dataset: Dataset) -> PipelineResult:
-        """Run the full pipeline on ``dataset`` and return all artefacts.
+        """Run the stage sequence on ``dataset`` and return all artefacts.
 
         Candidate generation and pairwise inference are delegated to the
         execution engine (:class:`~repro.runtime.PipelineRuntime`), which
@@ -110,54 +171,41 @@ class EntityGroupMatchingPipeline:
         engines produce identical results.
         """
         profiler = StageProfiler()
-
-        with profiler.stage("blocking"):
-            candidates = self.runtime.run_blocking(self.blocking, dataset, profiler)
-
-        with profiler.stage("pairwise_matching"):
-            decisions = self.runtime.run_matching(
-                self.matcher, dataset, candidates, profiler
-            )
-
-        with profiler.stage("graph_cleanup"):
-            positive_edges = [
-                decision.pair for decision in decisions if decision.is_match
-            ]
-            edge_blockings = {
-                candidate.key: candidate.blocking for candidate in candidates
-            }
-
-            kept_edges, removed_by_precleanup = pre_cleanup(
-                positive_edges, edge_blockings, self.pre_cleanup_config
-            )
-
-            components, cleanup_report = gralmatch_cleanup(
-                kept_edges, self.cleanup_config
-            )
-
-            all_record_ids = [record.record_id for record in dataset]
-            groups = self._components_to_groups(components, all_record_ids)
-            pre_cleanup_groups = EntityGroups.from_edges(positive_edges, all_record_ids)
-
-        return PipelineResult(
-            candidates=candidates,
-            decisions=decisions,
-            positive_edges=list(positive_edges),
-            pre_cleanup_removed=removed_by_precleanup,
-            cleanup_report=cleanup_report,
-            groups=groups,
-            pre_cleanup_groups=pre_cleanup_groups,
-            inference_seconds=profiler.stage_seconds("pairwise_matching"),
-            graph_seconds=profiler.stage_seconds("graph_cleanup"),
-            blocking_seconds=profiler.stage_seconds("blocking"),
-            timings=profiler.as_timings(),
+        context = PipelineContext(
+            dataset=dataset, runtime=self.runtime, profiler=profiler
         )
+        for stage in self.stages:
+            with profiler.stage(stage.name):
+                stage.run(context)
+        return self._to_result(context, profiler)
 
-    @staticmethod
-    def _components_to_groups(
-        components: Sequence[set[str]], all_record_ids: Sequence[str]
-    ) -> EntityGroups:
-        covered = {record_id for component in components for record_id in component}
-        groups: list[set[str]] = [set(component) for component in components]
-        groups.extend({record_id} for record_id in all_record_ids if record_id not in covered)
-        return EntityGroups(groups)
+    def _to_result(
+        self, context: PipelineContext, profiler: StageProfiler
+    ) -> PipelineResult:
+        graph_seconds = sum(
+            profiler.stage_seconds(stage.name)
+            for stage in self.stages
+            if stage.timing_group == "graph"
+        )
+        timings = profiler.as_timings()
+        # Pre-stage pipelines timed the three graph steps as one
+        # "graph_cleanup" stage; keep the aggregate key for consumers.
+        timings.setdefault("graph_cleanup", graph_seconds)
+        if context.groups is None or context.pre_cleanup_groups is None:
+            raise RuntimeError(
+                "pipeline finished without producing groups — a grouping "
+                f"stage is missing from {self.stage_names()}"
+            )
+        return PipelineResult(
+            candidates=context.candidates,
+            decisions=context.decisions,
+            positive_edges=list(context.positive_edges),
+            pre_cleanup_removed=context.pre_cleanup_removed,
+            cleanup_report=context.cleanup_report,
+            groups=context.groups,
+            pre_cleanup_groups=context.pre_cleanup_groups,
+            inference_seconds=profiler.stage_seconds("pairwise_matching"),
+            graph_seconds=graph_seconds,
+            blocking_seconds=profiler.stage_seconds("blocking"),
+            timings=timings,
+        )

@@ -12,19 +12,16 @@ For one dataset and one model setup:
 The blocking recipe per dataset follows Table 2: companies use
 ID Overlap + Token Overlap, securities use ID Overlap + Issuer Match (with
 the issuer groups coming from a company matching or from the ground truth
-for oracle ablations), WDC Products uses Token Overlap only.
+for oracle ablations), WDC Products uses Token Overlap only.  The recipes
+are data (:data:`repro.specs.pipeline.BLOCKING_RECIPES`) resolved through
+the component registry, so spec files and externally registered blockings
+plug in without touching this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.blocking import (
-    CombinedBlocking,
-    IdOverlapBlocking,
-    IssuerMatchBlocking,
-    TokenOverlapBlocking,
-)
 from repro.blocking.base import Blocking
 from repro.core.cleanup import CleanupConfig
 from repro.core.metrics import (
@@ -37,9 +34,15 @@ from repro.core.pipeline import EntityGroupMatchingPipeline, PipelineResult
 from repro.core.precleanup import PreCleanupConfig
 from repro.datagen.records import Dataset
 from repro.evaluation.splits import DatasetSplits, split_dataset
-from repro.matching.models import MODEL_SPECS, ModelSpec
+from repro.matching.models import ModelSpec, resolve_model_spec
 from repro.matching.training import FineTuner
 from repro.runtime import RuntimeConfig
+from repro.specs.pipeline import (
+    BLOCKING_RECIPES,
+    CleanupSpec,
+    ComponentSpec,
+    PipelineSpec,
+)
 
 
 @dataclass
@@ -67,6 +70,15 @@ class ExperimentConfig:
     #: blocking.  ``None`` falls back to the ground-truth issuer groups
     #: (oracle issuer matching), which is what the unit benches use.
     issuer_groups: list[list[str]] | None = field(default=None)
+    #: Explicit blocking component list (registry names + params); ``None``
+    #: uses the Table 2 recipe for ``dataset_kind``.
+    blocking: tuple[ComponentSpec, ...] | None = None
+    #: Partial clean-up thresholds from a declarative spec; unset fields are
+    #: derived from the dataset's source count at run time.  Ignored when
+    #: ``cleanup`` is set explicitly.
+    cleanup_spec: CleanupSpec | None = None
+    #: Named graph clean-up strategy (see :data:`repro.registry.CLEANUPS`).
+    cleanup_strategy: str = "gralmatch"
     #: Execution-engine settings (workers, batch size, pool flavour);
     #: ``None`` runs the serial engine.
     runtime: RuntimeConfig | None = None
@@ -119,24 +131,41 @@ class EntityGroupMatchingExperiment:
 
     # -- components ------------------------------------------------------------------
 
-    def build_blocking(self) -> Blocking:
-        """The Table 2 blocking recipe for the configured dataset kind."""
+    def blocking_specs(self) -> tuple[ComponentSpec, ...]:
+        """The effective blocking components: explicit config, else Table 2."""
+        if self.config.blocking is not None:
+            return tuple(self.config.blocking)
         kind = self.config.dataset_kind
-        if kind == "companies":
-            return CombinedBlocking(
-                [IdOverlapBlocking(), TokenOverlapBlocking(top_n=self.config.token_top_n)]
-            )
-        if kind == "securities":
+        try:
+            return BLOCKING_RECIPES[kind]
+        except KeyError:
+            raise ValueError(f"unknown dataset kind: {kind!r}") from None
+
+    def build_blocking(self) -> Blocking:
+        """Resolve the blocking components through the spec builder.
+
+        Experiment-level context the spec file cannot carry is injected as
+        ``extra_params``: the ``token_overlap`` top-n default and the
+        ``issuer_match`` company-group mapping (from the configured company
+        matching, or the ground-truth issuer groups as the oracle
+        fallback).  Explicit component params always win over injected
+        ones, so a spec that pins its own groups — or merely tweaks an
+        unrelated param like ``cross_source_only`` — composes correctly.
+        """
+        specs = self.blocking_specs()
+        extra_params: dict[str, dict] = {
+            "token_overlap": {"top_n": self.config.token_top_n},
+        }
+        if any(component.name == "issuer_match" for component in specs):
             if self.config.issuer_groups is not None:
-                issuer = IssuerMatchBlocking.from_company_groups(self.config.issuer_groups)
+                extra_params["issuer_match"] = {
+                    "issuer_groups": self.config.issuer_groups
+                }
             else:
-                issuer = IssuerMatchBlocking(
-                    issuer_group_of=self._ground_truth_issuer_groups()
-                )
-            return CombinedBlocking([IdOverlapBlocking(), issuer])
-        if kind == "products":
-            return TokenOverlapBlocking(top_n=self.config.token_top_n)
-        raise ValueError(f"unknown dataset kind: {kind!r}")
+                extra_params["issuer_match"] = {
+                    "issuer_group_of": self._ground_truth_issuer_groups()
+                }
+        return PipelineSpec(blocking=specs).build_blocking(extra_params)
 
     def _ground_truth_issuer_groups(self) -> dict[str, int]:
         """Issuer groups derived from the records' issuer entity ids."""
@@ -154,7 +183,14 @@ class EntityGroupMatchingExperiment:
     def build_cleanup_config(self) -> CleanupConfig:
         if self.config.cleanup is not None:
             return self.config.cleanup
-        return CleanupConfig.for_num_sources(len(self.dataset.sources))
+        num_sources = len(self.dataset.sources)
+        if self.config.cleanup_spec is not None:
+            # Partial spec: unset thresholds derive from the dataset here,
+            # where the source count is known (mu = #sources, gamma = 5*mu).
+            return PipelineSpec(
+                cleanup=self.config.cleanup_spec
+            ).build_cleanup_config(num_sources)
+        return CleanupConfig.for_num_sources(num_sources)
 
     def build_pre_cleanup_config(self) -> PreCleanupConfig:
         if self.config.pre_cleanup is not None:
@@ -165,9 +201,7 @@ class EntityGroupMatchingExperiment:
 
     def run(self, model: str | ModelSpec | None = None) -> ExperimentResult:
         """Fine-tune the model and run the end-to-end matching."""
-        spec = model or self.config.model
-        if isinstance(spec, str):
-            spec = MODEL_SPECS[spec]
+        spec = resolve_model_spec(model or self.config.model)
 
         tuner = FineTuner(
             negative_ratio=self.config.negative_ratio,
@@ -188,6 +222,7 @@ class EntityGroupMatchingExperiment:
             cleanup_config=cleanup_config,
             pre_cleanup_config=self.build_pre_cleanup_config(),
             runtime=self.config.runtime,
+            cleanup_strategy=self.config.cleanup_strategy,
         )
         result = pipeline.run(self.dataset)
         return self._score(spec, cleanup_config, result)

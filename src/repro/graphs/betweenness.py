@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge, sorted_nodes
 
 
 def edge_betweenness_centrality(
@@ -42,10 +42,17 @@ def edge_betweenness_centrality(
         the graph is present in the result.
     """
     centrality: dict[Edge, float] = {edge: 0.0 for edge in graph.edges()}
-    nodes = graph.nodes()
 
-    for source in nodes:
-        _accumulate_single_source(graph, source, centrality)
+    # Sorted source order plus sorted neighbour expansion make the floating-
+    # point accumulation order — and with it any near-tie between edges —
+    # independent of set/dict hash order (PYTHONHASHSEED).  The adjacency is
+    # sorted once here, not per BFS visit: every node is a BFS source, so
+    # re-sorting inside the traversal would cost O(V · E log d).
+    adjacency: dict[Node, list[Node]] = {
+        node: graph.sorted_neighbors(node) for node in sorted_nodes(graph.nodes())
+    }
+    for source in adjacency:
+        _accumulate_single_source(adjacency, source, centrality)
 
     # Each undirected pair (s, t) is counted twice (once from s, once from t).
     for edge in centrality:
@@ -61,15 +68,19 @@ def edge_betweenness_centrality(
 
 
 def _accumulate_single_source(
-    graph: Graph,
+    adjacency: dict[Node, list[Node]],
     source: Node,
     centrality: dict[Edge, float],
 ) -> None:
-    """Single-source shortest-path pass of Brandes' algorithm (BFS variant)."""
+    """Single-source shortest-path pass of Brandes' algorithm (BFS variant).
+
+    ``adjacency`` maps every node to its neighbours in sorted order (built
+    once by the caller), which keeps the accumulation deterministic.
+    """
     stack: list[Node] = []
-    predecessors: dict[Node, list[Node]] = {node: [] for node in graph.nodes()}
-    sigma: dict[Node, float] = {node: 0.0 for node in graph.nodes()}
-    distance: dict[Node, int] = {node: -1 for node in graph.nodes()}
+    predecessors: dict[Node, list[Node]] = {node: [] for node in adjacency}
+    sigma: dict[Node, float] = {node: 0.0 for node in adjacency}
+    distance: dict[Node, int] = {node: -1 for node in adjacency}
     sigma[source] = 1.0
     distance[source] = 0
 
@@ -77,7 +88,7 @@ def _accumulate_single_source(
     while queue:
         node = queue.popleft()
         stack.append(node)
-        for neighbour in graph.neighbors(node):
+        for neighbour in adjacency[node]:
             if distance[neighbour] < 0:
                 distance[neighbour] = distance[node] + 1
                 queue.append(neighbour)
@@ -86,7 +97,7 @@ def _accumulate_single_source(
                 predecessors[neighbour].append(node)
 
     # Back-propagation of dependencies, accumulated on edges.
-    delta: dict[Node, float] = {node: 0.0 for node in graph.nodes()}
+    delta: dict[Node, float] = {node: 0.0 for node in adjacency}
     while stack:
         node = stack.pop()
         for pred in predecessors[node]:

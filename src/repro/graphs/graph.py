@@ -29,6 +29,29 @@ def canonical_edge(u: Node, v: Node) -> Edge:
         return (u, v) if repr(u) <= repr(v) else (v, u)
 
 
+def sorted_nodes(nodes: Iterable[Node]) -> list[Node]:
+    """Sort nodes naturally, falling back to repr ordering for mixed types.
+
+    The graph algorithms iterate neighbours and edges through this helper so
+    their traversal order — and therefore every tie-break — is independent
+    of set/dict hash order (``PYTHONHASHSEED``).
+    """
+    items = list(nodes)
+    try:
+        return sorted(items)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(items, key=repr)
+
+
+def sorted_edges(edges: Iterable[Edge]) -> list[Edge]:
+    """Sort edges with the same mixed-type fallback as :func:`sorted_nodes`."""
+    items = list(edges)
+    try:
+        return sorted(items)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(items, key=lambda edge: (repr(edge[0]), repr(edge[1])))
+
+
 class Graph:
     """Simple undirected graph (no self-loops, no parallel edges).
 
@@ -108,12 +131,17 @@ class Graph:
         return u in self._adj and v in self._adj[u]
 
     def edges(self) -> list[Edge]:
-        """Return every edge once, in canonical orientation."""
+        """Return every edge once, in canonical orientation, sorted.
+
+        Sorting makes every consumer's iteration order independent of set
+        hash order, which is what keeps the clean-up's tie-breaking stable
+        across ``PYTHONHASHSEED`` values.
+        """
         seen: set[Edge] = set()
         for u, neighbours in self._adj.items():
             for v in neighbours:
                 seen.add(canonical_edge(u, v))
-        return list(seen)
+        return sorted_edges(seen)
 
     def edge_attrs(self, u: Node, v: Node) -> dict[str, Any]:
         if not self.has_edge(u, v):
@@ -130,6 +158,12 @@ class Graph:
         if node not in self._adj:
             raise KeyError(f"node {node!r} not in graph")
         return set(self._adj[node])
+
+    def sorted_neighbors(self, node: Node) -> list[Node]:
+        """Neighbours of ``node`` in sorted order (hash-seed independent)."""
+        if node not in self._adj:
+            raise KeyError(f"node {node!r} not in graph")
+        return sorted_nodes(self._adj[node])
 
     def degree(self, node: Node) -> int:
         if node not in self._adj:
@@ -159,16 +193,22 @@ class Graph:
         return new
 
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
-        """Return the induced subgraph on ``nodes`` (attributes are copied)."""
+        """Return the induced subgraph on ``nodes`` (attributes are copied).
+
+        Nodes and edges are inserted in sorted order so the subgraph's
+        insertion order (and with it every downstream traversal) does not
+        depend on the hash order of the ``nodes`` set.
+        """
         keep = set(nodes)
+        ordered = sorted_nodes(keep)
         sub = Graph()
-        for node in keep:
+        for node in ordered:
             if node in self._adj:
                 sub.add_node(node, **self._node_attrs.get(node, {}))
-        for node in keep:
+        for node in ordered:
             if node not in self._adj:
                 continue
-            for neighbour in self._adj[node]:
+            for neighbour in sorted_nodes(self._adj[node]):
                 if neighbour in keep and not sub.has_edge(node, neighbour):
                     attrs = self._edge_attrs.get(canonical_edge(node, neighbour), {})
                     sub.add_edge(node, neighbour, **attrs)

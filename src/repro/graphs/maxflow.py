@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge, sorted_nodes
 
 
 class _ResidualNetwork:
@@ -21,16 +21,23 @@ class _ResidualNetwork:
     capacity 1.  Flow pushed on one arc creates residual capacity on the
     reverse arc, which is exactly the behaviour required for undirected
     max-flow with unit capacities.
+
+    Adjacency lists are kept in sorted order so the shortest augmenting
+    path chosen among equals — and therefore which minimum cut the search
+    settles on — is independent of set hash order (``PYTHONHASHSEED``).
     """
 
     def __init__(self, graph: Graph) -> None:
         self.capacity: dict[tuple[Node, Node], int] = {}
-        self.adj: dict[Node, set[Node]] = {node: set() for node in graph.nodes()}
+        adj_sets: dict[Node, set[Node]] = {node: set() for node in graph.nodes()}
         for u, v in graph.edges():
             self.capacity[(u, v)] = 1
             self.capacity[(v, u)] = 1
-            self.adj[u].add(v)
-            self.adj[v].add(u)
+            adj_sets[u].add(v)
+            adj_sets[v].add(u)
+        self.adj: dict[Node, list[Node]] = {
+            node: sorted_nodes(neighbours) for node, neighbours in adj_sets.items()
+        }
 
     def bfs_augmenting_path(self, source: Node, sink: Node) -> list[Node] | None:
         """Find a shortest augmenting path with positive residual capacity."""
@@ -65,6 +72,36 @@ class _ResidualNetwork:
             self.capacity[(u, v)] = self.capacity.get((u, v), 0) - 1
             self.capacity[(v, u)] = self.capacity.get((v, u), 0) + 1
 
+    def reset(self) -> None:
+        """Restore every arc to capacity 1 (undo all pushed flow).
+
+        Lets one network (and its sorted adjacency) be reused across the
+        many s-t computations of a global minimum cut search instead of
+        rebuilding and re-sorting the adjacency per target.
+        """
+        for arc in self.capacity:
+            self.capacity[arc] = 1
+
+    def saturate(self, source: Node, sink: Node) -> int:
+        """Push augmenting paths until none remain; returns the flow value."""
+        flow = 0
+        while True:
+            path = self.bfs_augmenting_path(source, sink)
+            if path is None:
+                return flow
+            self.push_unit_flow(path)
+            flow += 1
+
+    def st_cut_edges(self, graph: Graph, source: Node) -> set[Edge]:
+        """The cut induced by the current (saturated) flow: original edges
+        crossing from the residual-reachable side of ``source``."""
+        reachable = self.reachable_from(source)
+        return {
+            canonical_edge(u, v)
+            for u, v in graph.edges()
+            if (u in reachable) != (v in reachable)
+        }
+
     def reachable_from(self, source: Node) -> set[Node]:
         """Nodes reachable from ``source`` through positive residual arcs."""
         seen = {source}
@@ -87,14 +124,7 @@ def max_flow(graph: Graph, source: Node, sink: Node) -> int:
         raise ValueError("source and sink must differ")
     if not graph.has_node(source) or not graph.has_node(sink):
         raise KeyError("source and sink must both be nodes of the graph")
-    network = _ResidualNetwork(graph)
-    flow = 0
-    while True:
-        path = network.bfs_augmenting_path(source, sink)
-        if path is None:
-            return flow
-        network.push_unit_flow(path)
-        flow += 1
+    return _ResidualNetwork(graph).saturate(source, sink)
 
 
 def minimum_st_edge_cut(graph: Graph, source: Node, sink: Node) -> set[Edge]:
@@ -109,15 +139,5 @@ def minimum_st_edge_cut(graph: Graph, source: Node, sink: Node) -> set[Edge]:
         raise KeyError("source and sink must both be nodes of the graph")
 
     network = _ResidualNetwork(graph)
-    while True:
-        path = network.bfs_augmenting_path(source, sink)
-        if path is None:
-            break
-        network.push_unit_flow(path)
-
-    reachable = network.reachable_from(source)
-    cut: set[Edge] = set()
-    for u, v in graph.edges():
-        if (u in reachable) != (v in reachable):
-            cut.add(canonical_edge(u, v))
-    return cut
+    network.saturate(source, sink)
+    return network.st_cut_edges(graph, source)

@@ -19,8 +19,8 @@ Two implementations are provided:
 from __future__ import annotations
 
 from repro.graphs.components import connected_components
-from repro.graphs.graph import Edge, Graph, Node
-from repro.graphs.maxflow import max_flow, minimum_st_edge_cut
+from repro.graphs.graph import Edge, Graph, Node, sorted_nodes
+from repro.graphs.maxflow import _ResidualNetwork
 
 
 def minimum_edge_cut(graph: Graph) -> set[Edge]:
@@ -31,7 +31,10 @@ def minimum_edge_cut(graph: Graph) -> set[Edge]:
 
     The search fixes the minimum-degree node as the source (its degree is an
     upper bound on the cut size, which lets us stop early) and computes a
-    minimum s-t cut towards every other node, keeping the smallest.
+    minimum s-t cut towards every other node, keeping the smallest.  One
+    residual network is built (and its adjacency sorted) once and reset
+    between targets, and each target's saturated flow directly yields its
+    cut — no second max-flow pass.
     """
     nodes = graph.nodes()
     if len(nodes) < 2:
@@ -43,14 +46,16 @@ def minimum_edge_cut(graph: Graph) -> set[Edge]:
     source = min(nodes, key=lambda n: (graph.degree(n), repr(n)))
     best_cut: set[Edge] | None = None
     best_size = graph.degree(source) + 1
+    network = _ResidualNetwork(graph)
 
-    for target in nodes:
+    for target in sorted_nodes(nodes):
         if target == source:
             continue
-        flow = max_flow(graph, source, target)
+        network.reset()
+        flow = network.saturate(source, target)
         if flow < best_size:
             best_size = flow
-            best_cut = minimum_st_edge_cut(graph, source, target)
+            best_cut = network.st_cut_edges(graph, source)
             if best_size <= 1:
                 break
 

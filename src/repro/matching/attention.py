@@ -36,7 +36,6 @@ from repro.matching.nn import (
     LayerNorm,
     MaskedMeanPool,
     Module,
-    Parameter,
     PositionalEmbedding,
     TransformerBlock,
     cross_entropy,

@@ -19,7 +19,6 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.datagen.records import Record
 from repro.matching.base import RecordPair, TrainablePairwiseMatcher
 from repro.matching.features import PairFeatureExtractor
 

@@ -26,6 +26,7 @@ from repro.matching.attention import TransformerPairClassifier
 from repro.matching.base import PairwiseMatcher
 from repro.matching.heuristic import IdOverlapMatcher
 from repro.matching.logistic import LogisticRegressionMatcher
+from repro.registry import MATCHERS, register_matcher
 from repro.text.serialize import DITTO_SCHEME, PLAIN_SCHEME, make_serializer
 
 
@@ -91,6 +92,52 @@ MODEL_SPECS: dict[str, ModelSpec] = {
 }
 
 
+@register_matcher("transformer")
+def build_transformer_matcher(
+    spec: ModelSpec, attributes: Sequence[str], **options: object
+) -> PairwiseMatcher:
+    """Factory for the attention-based DistilBERT/DITTO stand-ins."""
+    serializer = make_serializer(
+        spec.serialization_scheme, attributes, max_tokens=spec.max_tokens
+    )
+    return TransformerPairClassifier(
+        serializer=serializer,
+        num_epochs=int(options.get("num_epochs", 5)),
+        embedding_dim=int(options.get("embedding_dim", 32)),
+        hidden_dim=int(options.get("hidden_dim", 64)),
+        num_blocks=int(options.get("num_blocks", 1)),
+        seed=int(options.get("seed", 0)),
+    )
+
+
+@register_matcher("logistic")
+def build_logistic_matcher(
+    spec: ModelSpec, attributes: Sequence[str], **options: object
+) -> PairwiseMatcher:
+    """Factory for the feature-based logistic regression baseline."""
+    return LogisticRegressionMatcher(seed=int(options.get("seed", 0)))
+
+
+@register_matcher("id-overlap")
+def build_id_overlap_matcher(
+    spec: ModelSpec, attributes: Sequence[str], **options: object
+) -> PairwiseMatcher:
+    """Factory for the identifier-overlap heuristic (needs no training)."""
+    return IdOverlapMatcher()
+
+
+def resolve_model_spec(spec: ModelSpec | str) -> ModelSpec:
+    """Resolve a model-zoo name to its :class:`ModelSpec` (pass-through otherwise)."""
+    if isinstance(spec, str):
+        try:
+            return MODEL_SPECS[spec]
+        except KeyError as error:
+            raise ValueError(
+                f"unknown model {spec!r}; available: {sorted(MODEL_SPECS)}"
+            ) from error
+    return spec
+
+
 def build_matcher(
     spec: ModelSpec | str,
     attributes: Sequence[str],
@@ -104,29 +151,19 @@ def build_matcher(
 
     ``attributes`` is the serialisation order of the record attributes —
     normally ``RecordClass.MATCHING_ATTRIBUTES`` of the dataset at hand.
+    Dispatches on ``spec.kind`` through the :data:`repro.registry.MATCHERS`
+    registry, so externally registered kinds work here and in the specs.
     """
-    if isinstance(spec, str):
-        try:
-            spec = MODEL_SPECS[spec]
-        except KeyError as error:
-            raise ValueError(
-                f"unknown model {spec!r}; available: {sorted(MODEL_SPECS)}"
-            ) from error
-
-    if spec.kind == "transformer":
-        serializer = make_serializer(
-            spec.serialization_scheme, attributes, max_tokens=spec.max_tokens
-        )
-        return TransformerPairClassifier(
-            serializer=serializer,
-            num_epochs=num_epochs,
-            embedding_dim=embedding_dim,
-            hidden_dim=hidden_dim,
-            num_blocks=num_blocks,
-            seed=seed,
-        )
-    if spec.kind == "logistic":
-        return LogisticRegressionMatcher(seed=seed)
-    if spec.kind == "id-overlap":
-        return IdOverlapMatcher()
-    raise ValueError(f"unknown model kind: {spec.kind!r}")
+    spec = resolve_model_spec(spec)
+    if spec.kind not in MATCHERS:
+        raise ValueError(f"unknown model kind: {spec.kind!r}")
+    factory = MATCHERS.get(spec.kind)
+    return factory(
+        spec,
+        attributes,
+        seed=seed,
+        num_epochs=num_epochs,
+        embedding_dim=embedding_dim,
+        hidden_dim=hidden_dim,
+        num_blocks=num_blocks,
+    )

@@ -21,7 +21,7 @@ from collections.abc import Sequence
 
 from repro.datagen.records import Dataset
 from repro.matching.base import PairwiseMatcher, TrainablePairwiseMatcher
-from repro.matching.models import MODEL_SPECS, ModelSpec, build_matcher
+from repro.matching.models import ModelSpec, build_matcher, resolve_model_spec
 from repro.matching.pairs import (
     LabeledPair,
     PairSampler,
@@ -92,8 +92,7 @@ class FineTuner:
         attributes: Sequence[str] | None = None,
     ) -> FineTuneResult:
         """Fine-tune ``spec`` on the given train / validation entity splits."""
-        if isinstance(spec, str):
-            spec = MODEL_SPECS[spec]
+        spec = resolve_model_spec(spec)
         if attributes is None:
             attributes = self._infer_attributes(dataset)
 

@@ -1,0 +1,39 @@
+"""Declarative pipeline and experiment specs.
+
+Specs are plain dataclasses that round-trip to/from JSON and TOML and
+resolve component *names* through :mod:`repro.registry` at build time:
+
+* :class:`~repro.specs.pipeline.PipelineSpec` — blockings, clean-up
+  strategy/thresholds, pre-cleanup rule and execution-engine settings,
+* :class:`~repro.specs.experiment.ExperimentSpec` — dataset, model and
+  fine-tuning protocol around a pipeline spec,
+* :class:`~repro.specs.errors.SpecValidationError` — every loader error
+  names the offending key (``pipeline.blocking[1].name: ...``).
+
+The high-level entry points (``load_spec`` / ``build_pipeline`` /
+``run_experiment``) live in :mod:`repro.api`.
+"""
+
+from repro.specs.errors import SpecValidationError
+from repro.specs.pipeline import (
+    BLOCKING_RECIPES,
+    GAMMA_INFINITY,
+    CleanupSpec,
+    ComponentSpec,
+    PipelineSpec,
+    PreCleanupSpec,
+    RuntimeSpec,
+)
+from repro.specs.experiment import ExperimentSpec
+
+__all__ = [
+    "BLOCKING_RECIPES",
+    "GAMMA_INFINITY",
+    "CleanupSpec",
+    "ComponentSpec",
+    "ExperimentSpec",
+    "PipelineSpec",
+    "PreCleanupSpec",
+    "RuntimeSpec",
+    "SpecValidationError",
+]

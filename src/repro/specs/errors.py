@@ -1,0 +1,16 @@
+"""Spec validation errors that name the offending key."""
+
+from __future__ import annotations
+
+
+class SpecValidationError(ValueError):
+    """A declarative spec document failed validation.
+
+    ``key`` is the dotted path of the offending entry (e.g.
+    ``pipeline.blocking[1].name``) so config mistakes are locatable without
+    reading the loader source; the message always starts with it.
+    """
+
+    def __init__(self, key: str, message: str) -> None:
+        self.key = key
+        super().__init__(f"{key}: {message}")

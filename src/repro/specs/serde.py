@@ -1,0 +1,119 @@
+"""JSON / TOML (de)serialisation helpers for the declarative specs.
+
+Parsing uses the standard library (:mod:`json`, :mod:`tomllib`).  Writing
+TOML has no stdlib counterpart, so :func:`dumps_toml` implements the small
+subset the specs need — scalars, arrays of scalars, nested tables and
+arrays of tables — which round-trips through :func:`tomllib.loads`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import tomllib
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.specs.errors import SpecValidationError
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def loads_json(text: str, source: str = "spec") -> dict[str, Any]:
+    """Parse a JSON spec document into a mapping (with a helpful error)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SpecValidationError(source, f"invalid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise SpecValidationError(source, "top level must be a JSON object")
+    return data
+
+
+def loads_toml(text: str, source: str = "spec") -> dict[str, Any]:
+    """Parse a TOML spec document into a mapping (with a helpful error)."""
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise SpecValidationError(source, f"invalid TOML: {error}") from error
+
+
+def dumps_json(data: Mapping[str, Any]) -> str:
+    return json.dumps(data, indent=2, sort_keys=False) + "\n"
+
+
+def dumps_toml(data: Mapping[str, Any]) -> str:
+    """Serialise a nested mapping to TOML.
+
+    Supported values: str / int / float / bool, lists of those, mappings
+    (emitted as ``[dotted.tables]``) and lists of mappings (emitted as
+    ``[[arrays.of.tables]]``).  ``None`` values must be stripped by the
+    caller — TOML has no null.
+    """
+    lines: list[str] = []
+    _emit_table(data, prefix=(), lines=lines)
+    text = "\n".join(lines).strip("\n")
+    return text + "\n" if text else ""
+
+
+def _emit_table(table: Mapping[str, Any], prefix: tuple[str, ...], lines: list[str]) -> None:
+    scalars = {k: v for k, v in table.items() if not _is_table_like(v)}
+    nested = {k: v for k, v in table.items() if _is_table_like(v)}
+
+    for key, value in scalars.items():
+        lines.append(f"{_format_key(key)} = {_format_value(value, key)}")
+
+    for key, value in nested.items():
+        path = prefix + (key,)
+        if isinstance(value, Mapping):
+            # A table with no scalar entries is defined implicitly by its
+            # sub-tables; emitting its header would only add noise.
+            if any(not _is_table_like(v) for v in value.values()) or not value:
+                lines.append("")
+                lines.append(f"[{_format_path(path)}]")
+            _emit_table(value, path, lines)
+        else:  # list of tables
+            for item in value:
+                lines.append("")
+                lines.append(f"[[{_format_path(path)}]]")
+                _emit_table(item, path, lines)
+
+
+def _is_table_like(value: Any) -> bool:
+    if isinstance(value, Mapping):
+        return True
+    return (
+        isinstance(value, Sequence)
+        and not isinstance(value, (str, bytes))
+        and any(isinstance(item, Mapping) for item in value)
+    )
+
+
+def _format_path(path: tuple[str, ...]) -> str:
+    return ".".join(_format_key(part) for part in path)
+
+
+def _format_key(key: str) -> str:
+    if _BARE_KEY.match(key):
+        return key
+    return json.dumps(key)
+
+
+def _format_value(value: Any, key: str) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+            raise SpecValidationError(key, "non-finite floats are not serialisable")
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        inner = ", ".join(_format_value(item, key) for item in value)
+        return f"[{inner}]"
+    if isinstance(value, Mapping):
+        inner = ", ".join(
+            f"{_format_key(k)} = {_format_value(v, f'{key}.{k}')}" for k, v in value.items()
+        )
+        return f"{{{inner}}}"
+    raise SpecValidationError(key, f"unsupported value type {type(value).__name__}")

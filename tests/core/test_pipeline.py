@@ -58,12 +58,28 @@ class TestPipelineOnFigure2:
         )
         result = pipeline.run(companies)
         assert result.num_positive == len(result.positive_edges)
-        stage_keys = {"blocking", "pairwise_matching", "graph_cleanup"}
+        # One timing per named stage, plus the aggregate "graph_cleanup" key
+        # kept for consumers of the pre-stage pipeline layout.
+        stage_keys = {
+            "blocking",
+            "pairwise_matching",
+            "pre_cleanup",
+            "gralmatch_cleanup",
+            "grouping",
+            "graph_cleanup",
+        }
         assert stage_keys <= set(result.timings)
         # Beyond the stage totals, the runtime records only per-chunk detail.
         assert all(
             key.split("/chunk")[0] in stage_keys for key in result.timings
         )
+        graph_stage_sum = (
+            result.timings["pre_cleanup"]
+            + result.timings["gralmatch_cleanup"]
+            + result.timings["grouping"]
+        )
+        assert result.timings["graph_cleanup"] == pytest.approx(graph_stage_sum)
+        assert result.graph_seconds == pytest.approx(graph_stage_sum)
         assert result.inference_seconds >= 0
         assert len(result.decisions) == result.num_candidates
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.datagen.artifacts import (
     AcronymName,

@@ -106,7 +106,6 @@ class TestGeneration:
         # Acquiree company records carry the acquirer's entity id.
         for draft in acquired:
             group = benchmark.companies.entity_groups()[draft.entity_id]
-            sources = [benchmark.companies.record(rid).source for rid in group]
             # merged groups can now exceed one record per source
             assert len(group) >= len(draft.company_records)
 

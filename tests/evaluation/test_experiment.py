@@ -86,6 +86,26 @@ class TestEntityGroupMatchingExperiment:
         result = EntityGroupMatchingExperiment(securities, config).run()
         assert result.num_candidates > 0
 
+    def test_issuer_match_spec_params_merge_with_injected_groups(self, experiment_benchmark):
+        # A spec that tweaks an unrelated issuer_match param must still get
+        # the run-time group mapping injected (explicit params win, extras
+        # fill the rest).
+        from repro.specs import ComponentSpec
+
+        securities = experiment_benchmark.securities
+        config = ExperimentConfig(
+            model="id-overlap", dataset_kind="securities", num_epochs=1, seed=0,
+            blocking=(
+                ComponentSpec("id_overlap"),
+                ComponentSpec("issuer_match", {"cross_source_only": False}),
+            ),
+        )
+        experiment = EntityGroupMatchingExperiment(securities, config)
+        blocking = experiment.build_blocking()
+        issuer = blocking.blockings[1]
+        assert issuer.cross_source_only is False
+        assert issuer._group_of  # oracle mapping injected alongside the param
+
     def test_products_experiment(self):
         products = generate_wdc_products(WdcConfig(num_entities=60, num_sources=10, seed=7))
         config = ExperimentConfig(

@@ -128,6 +128,16 @@ class TestMatchCommand:
         assert exit_code == 0
         assert "Post F1" in capsys.readouterr().out
 
+    def test_match_missing_file_message_matches_stats(self, tmp_path, capsys):
+        # `_require_dataset` is shared, so the two commands must report a
+        # missing dataset with byte-identical messages.
+        missing = tmp_path / "missing.csv"
+        assert main(["stats", str(missing)]) == 2
+        stats_err = capsys.readouterr().err
+        assert main(["match", str(missing)]) == 2
+        match_err = capsys.readouterr().err
+        assert stats_err == match_err
+
     def test_parallel_match_reproduces_serial_output(self, tmp_path, capsys):
         benchmark = generate_benchmark(GenerationConfig(num_entities=30, num_sources=3, seed=6))
         path = write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
@@ -148,3 +158,99 @@ class TestMatchCommand:
             ]
 
         assert score_cells(parallel_output) == score_cells(serial_output)
+
+
+def _score_cells(text):
+    """All table cells except the wall-clock "Inference (s)" column."""
+    return [
+        [cell.strip() for cell in line.split("|")][:-1]
+        for line in text.splitlines()
+        if "|" in line
+    ]
+
+
+class TestRunCommand:
+    def _write_dataset(self, tmp_path):
+        benchmark = generate_benchmark(
+            GenerationConfig(num_entities=30, num_sources=3, seed=6)
+        )
+        return write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
+
+    def test_run_matches_equivalent_match_invocation(self, tmp_path, capsys):
+        dataset = self._write_dataset(tmp_path)
+        config = tmp_path / "experiment.toml"
+        config.write_text(
+            "[experiment]\n"
+            f'dataset = "{dataset}"\n'
+            'kind = "companies"\n'
+            'model = "logistic"\n'
+            "epochs = 1\n"
+            "seed = 0\n"
+        )
+        assert main(["run", str(config)]) == 0
+        run_output = capsys.readouterr().out
+        assert main([
+            "match", str(dataset), "--kind", "companies",
+            "--model", "logistic", "--epochs", "1", "--seed", "0",
+        ]) == 0
+        match_output = capsys.readouterr().out
+        assert _score_cells(run_output) == _score_cells(match_output)
+
+    def test_run_json_spec(self, tmp_path, capsys):
+        dataset = self._write_dataset(tmp_path)
+        config = tmp_path / "experiment.json"
+        config.write_text(
+            '{"experiment": {"dataset": "%s", "kind": "companies", '
+            '"model": "logistic", "epochs": 1}}' % dataset
+        )
+        assert main(["run", str(config)]) == 0
+        assert "Post F1" in capsys.readouterr().out
+
+    def test_run_dataset_flag_overrides_spec(self, tmp_path, capsys):
+        dataset = self._write_dataset(tmp_path)
+        config = tmp_path / "experiment.toml"
+        config.write_text(
+            '[experiment]\ndataset = "does/not/exist.csv"\n'
+            'kind = "companies"\nmodel = "logistic"\nepochs = 1\n'
+        )
+        assert main(["run", str(config), "--dataset", str(dataset)]) == 0
+        assert "Post F1" in capsys.readouterr().out
+
+    def test_run_missing_config(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.toml")]) == 2
+        assert "spec file not found" in capsys.readouterr().err
+
+    def test_run_invalid_spec_names_the_key(self, tmp_path, capsys):
+        config = tmp_path / "experiment.toml"
+        config.write_text('[experiment]\nepochs = "three"\n')
+        assert main(["run", str(config)]) == 2
+        assert "experiment.epochs" in capsys.readouterr().err
+
+    def test_run_unknown_model_names_the_key(self, tmp_path, capsys):
+        config = tmp_path / "experiment.toml"
+        config.write_text('[experiment]\nmodel = "distilbert"\n')
+        assert main(["run", str(config)]) == 2
+        err = capsys.readouterr().err
+        assert "experiment.model" in err and "available" in err
+
+    def test_match_unknown_model_exits_cleanly(self, tmp_path, capsys):
+        benchmark = generate_benchmark(GenerationConfig(num_entities=10, num_sources=3, seed=1))
+        path = write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
+        assert main(["match", str(path), "--model", "distilbert"]) == 2
+        err = capsys.readouterr().err
+        assert "experiment.model" in err and "unknown model" in err
+
+    def test_run_without_any_dataset(self, tmp_path, capsys):
+        config = tmp_path / "experiment.toml"
+        config.write_text('[experiment]\nkind = "companies"\nmodel = "logistic"\n')
+        assert main(["run", str(config)]) == 2
+        assert "no experiment.dataset" in capsys.readouterr().err
+
+    def test_run_missing_dataset_file(self, tmp_path, capsys):
+        config = tmp_path / "experiment.toml"
+        config.write_text(
+            '[experiment]\ndataset = "does/not/exist.csv"\n'
+            'kind = "companies"\nmodel = "logistic"\n'
+        )
+        assert main(["run", str(config)]) == 2
+        assert "dataset file not found" in capsys.readouterr().err
