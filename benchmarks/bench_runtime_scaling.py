@@ -1,18 +1,23 @@
-"""Serial vs. parallel pairwise-inference throughput of the runtime engine.
+"""Serial vs. parallel stage throughput of the runtime engine.
 
-Measures ``PipelineRuntime.run_matching`` — the pipeline's dominant cost at
-paper scale (the "Inference Time" column of Table 4) — on the synthetic
-companies benchmark under increasing worker counts, in two regimes:
+Measures the two data-parallel pipeline stages on the synthetic companies
+benchmark under increasing worker counts, in three regimes:
 
-* ``cpu`` — a pure-Python compute-bound matcher (Jaro–Winkler name
+* ``cpu`` — ``PipelineRuntime.run_matching`` (the "Inference Time" column
+  of Table 4) with a pure-Python compute-bound matcher (Jaro–Winkler name
   similarity) on a process pool.  Throughput scales with *physical cores*;
   on a single-core machine the table honestly shows pool overhead instead
   of speedup.
-* ``latency`` — a matcher with per-request latency and a max batch size per
-  request (the remote / LLM-API matching regime of Section 5.2) on a thread
-  pool.  Throughput scales with the *worker count* regardless of core
-  count, because workers overlap request latency that a single connection
-  pays sequentially.
+* ``latency`` — the same stage with a matcher paying per-request latency
+  and a max batch size per request (the remote / LLM-API matching regime of
+  Section 5.2) on a thread pool.  Throughput scales with the *worker count*
+  regardless of core count, because workers overlap request latency that a
+  single connection pays sequentially.
+* ``blocking`` — ``PipelineRuntime.run_blocking`` with record-sharded
+  candidate generation (``blocking_shards = workers``) on a process pool:
+  the token inverted index is built once, the per-record-chunk scoring fans
+  out.  Like ``cpu``, this is compute-bound and scales with physical cores;
+  every row asserts the sharded candidates are byte-identical to serial.
 
 Run as a script (the CI smoke invocation)::
 
@@ -32,6 +37,7 @@ from pathlib import Path
 from collections.abc import Sequence
 
 from repro.blocking import CombinedBlocking, IdOverlapBlocking, TokenOverlapBlocking
+from repro.cli import positive_int
 from repro.datagen import GenerationConfig, generate_benchmark
 from repro.datagen.records import Dataset
 from repro.evaluation import format_table
@@ -71,15 +77,17 @@ class SimulatedLatencyMatcher(PairwiseMatcher):
         return self.inner.predict_proba(pairs)
 
 
-def build_workload(num_entities: int, seed: int) -> tuple[Dataset, list]:
-    """The synthetic companies dataset and its blocking candidates."""
+def build_blocking() -> CombinedBlocking:
+    return CombinedBlocking([IdOverlapBlocking(), TokenOverlapBlocking(top_n=5)])
+
+
+def build_dataset(num_entities: int, seed: int) -> Dataset:
+    """The synthetic companies dataset."""
     benchmark = generate_benchmark(
         GenerationConfig(num_entities=num_entities, num_sources=4, seed=seed,
                          acquisition_rate=0.05, merger_rate=0.05)
     )
-    dataset = benchmark.companies
-    blocking = CombinedBlocking([IdOverlapBlocking(), TokenOverlapBlocking(top_n=5)])
-    return dataset, blocking.candidate_pairs(dataset)
+    return benchmark.companies
 
 
 def measure_throughput(
@@ -98,6 +106,49 @@ def measure_throughput(
         decisions = runtime.run_matching(matcher, dataset, candidates)
         best_seconds = min(best_seconds, time.perf_counter() - start)
     return len(candidates) / best_seconds, decisions
+
+
+def run_blocking_scaling(
+    dataset: Dataset,
+    worker_counts: Sequence[int],
+    repeats: int,
+) -> list[dict[str, object]]:
+    """Candidate-generation throughput per worker count, sharded by record.
+
+    ``blocking_shards`` follows the worker count, so the serial baseline
+    (one worker, one shard) is exactly the pre-sharding code path and every
+    parallel row exercises the record-sharded fan-out.
+    """
+    blocking = build_blocking()
+    rows: list[dict[str, object]] = []
+    serial_throughput = None
+    serial_candidates = None
+    for workers in worker_counts:
+        runtime = PipelineRuntime(RuntimeConfig(
+            workers=workers, executor="process", blocking_shards=workers
+        ))
+        best_seconds = float("inf")
+        candidates = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            candidates = runtime.run_blocking(blocking, dataset)
+            best_seconds = min(best_seconds, time.perf_counter() - start)
+        throughput = len(candidates) / best_seconds
+        if serial_throughput is None:
+            serial_throughput, serial_candidates = throughput, candidates
+        assert candidates == serial_candidates, (
+            f"sharded candidates diverged from serial at workers={workers}"
+        )
+        rows.append({
+            "Mode": "blocking",
+            "Executor": "process" if workers > 1 else "serial",
+            "Workers": workers,
+            "Batch size": f"shards={workers}",
+            "Pairs": len(candidates),
+            "Pairs / s": round(throughput, 1),
+            "Speedup": round(throughput / serial_throughput, 2),
+        })
+    return rows
 
 
 def run_scaling(
@@ -154,11 +205,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--workers", default="1,2,4",
                         help="comma-separated worker counts (first is the serial baseline)")
     parser.add_argument("--batch-size", type=int, default=512)
-    parser.add_argument("--repeats", type=int, default=2, help="best-of repeats per point")
+    parser.add_argument("--repeats", type=positive_int, default=2,
+                        help="best-of repeats per point")
     parser.add_argument("--latency", type=float, default=0.05,
                         help="per-call seconds of the simulated remote matcher")
-    parser.add_argument("--modes", default="cpu,latency",
-                        help="comma-separated subset of {cpu,latency}")
+    parser.add_argument("--modes", default="cpu,latency,blocking",
+                        help="comma-separated subset of {cpu,latency,blocking}")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workload + single repeat (the CI smoke run)")
     args = parser.parse_args(argv)
@@ -167,16 +219,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.entities, args.repeats, args.workers = 40, 1, "1,2"
 
     worker_counts = [int(w) for w in args.workers.split(",")]
-    dataset, candidates = build_workload(args.entities, args.seed)
-    print(f"workload: {len(dataset)} records, {len(candidates)} candidate pairs, "
+    modes = args.modes.split(",")
+    dataset = build_dataset(args.entities, args.seed)
+    # The matcher modes score a fixed candidate list; the blocking mode
+    # measures candidate generation itself, so it never needs this pass.
+    candidates = (build_blocking().candidate_pairs(dataset)
+                  if set(modes) - {"blocking"} else [])
+    print(f"workload: {len(dataset)} records, "
+          f"{len(candidates) or 'mode-generated'} candidate pairs, "
           f"{os.cpu_count()} cpu core(s)")
 
     rows: list[dict[str, object]] = []
-    for mode in args.modes.split(","):
-        rows.extend(run_scaling(mode, dataset, candidates, worker_counts,
-                                args.batch_size, args.repeats, args.latency))
+    for mode in modes:
+        if mode == "blocking":
+            rows.extend(run_blocking_scaling(dataset, worker_counts, args.repeats))
+        else:
+            rows.extend(run_scaling(mode, dataset, candidates, worker_counts,
+                                    args.batch_size, args.repeats, args.latency))
 
-    table = format_table(rows, title="Runtime scaling — pairwise inference throughput")
+    table = format_table(rows, title="Runtime scaling — stage throughput")
     print(table)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "runtime_scaling.txt"

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import Any
 
 from repro.datagen.records import Dataset, Record
 from repro.graphs.graph import canonical_edge
@@ -30,14 +32,65 @@ class CandidatePair:
 
 
 class Blocking(ABC):
-    """Base class for candidate pair generators."""
+    """Base class for candidate pair generators.
+
+    Besides the one-shot :meth:`candidate_pairs` entry point, a blocking may
+    opt into the *record-sharded* two-phase protocol (``shardable = True``):
+
+    1. :meth:`prepare` scans the whole dataset once and returns the shared
+       state every shard needs (inverted indexes, document frequencies,
+       source maps).  This phase is global on purpose — naive dataset
+       partitioning would change token document frequencies and per-record
+       top-n selections, silently altering the candidates.
+    2. :meth:`candidates_for` scores one chunk of records against the
+       shared state, embarrassingly parallel across chunks.
+
+    The contract that makes sharded execution byte-identical to serial:
+    splitting the dataset's records into consecutive chunks (in dataset
+    order), concatenating ``candidates_for(shared, chunk)`` over the chunks
+    and de-duplicating with :func:`dedupe_pairs` must reproduce
+    ``candidate_pairs(dataset)`` exactly — same pairs, same order, same
+    tags.  Shardable blockings therefore implement ``candidate_pairs`` *in
+    terms of* the two-phase form, and each blocking owns the rule that
+    assigns a pair to exactly one chunk (see the individual blockings).
+    """
 
     #: Name recorded on every emitted candidate pair.
     name: str = "blocking"
 
+    #: Whether this blocking implements the two-phase sharded protocol.
+    shardable: bool = False
+
     @abstractmethod
     def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
         """Return the candidate pairs for ``dataset``."""
+
+    def prepare(self, dataset: Dataset) -> Any:
+        """Phase 1 of the sharded protocol: build the chunk-shared state.
+
+        Runs once, in the parent process; the returned object is shipped to
+        every worker (for process pools: once per worker, via the pool
+        initializer) and must be picklable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support record-sharded "
+            "candidate generation (shardable=False)"
+        )
+
+    def candidates_for(
+        self, shared: Any, records: Sequence[Record]
+    ) -> list[CandidatePair]:
+        """Phase 2: the candidate pairs owned by one chunk of records.
+
+        ``records`` is a consecutive slice of the dataset's records in
+        dataset order.  Results are raw (not de-duplicated): the engine
+        concatenates all chunks and de-duplicates once globally, because a
+        duplicate pair's two endpoints may live in different chunks.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support record-sharded "
+            "candidate generation (shardable=False)"
+        )
 
     def partition(self) -> list["Blocking"]:
         """Independent sub-blockings the execution engine may fan out.
@@ -47,6 +100,8 @@ class Blocking(ABC):
         one pool task and merges the results in declaration order, so the
         parallel merge keeps the first-blocking-wins de-duplication
         semantics of :class:`~repro.blocking.combine.CombinedBlocking`.
+        Record sharding composes with partitioning: the engine shards each
+        *part* that is shardable, still merging parts in declaration order.
         """
         return [self]
 

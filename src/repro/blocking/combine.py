@@ -33,12 +33,34 @@ class CombinedBlocking(Blocking):
         return dedupe_pairs(pairs)
 
     def partition(self) -> list[Blocking]:
-        """Each member blocking is one independent execution-engine task."""
+        """Each member blocking is one independent execution-engine task.
+
+        Record sharding goes through here too: a combined blocking is never
+        sharded as a whole (interleaving members per record chunk would
+        break the member-major emission order that first-blocking-wins
+        de-duplication relies on) — instead the engine shards each *member*
+        that is shardable and merges members in declaration order.
+        """
         return list(self.blockings)
 
-    def pairs_by_blocking(self, dataset: Dataset) -> dict[str, int]:
-        """Number of (deduplicated) candidates contributed by each blocking."""
+    def pairs_by_blocking(
+        self,
+        dataset: Dataset | None = None,
+        pairs: Sequence[CandidatePair] | None = None,
+    ) -> dict[str, int]:
+        """Number of (deduplicated) candidates contributed by each blocking.
+
+        Pass ``pairs`` (the output of an earlier :meth:`candidate_pairs`
+        call) to count from it directly; otherwise the blockings run once
+        here.  Callers that already hold the candidates should always pass
+        them — recomputing candidate generation just for stats reporting
+        doubles the blocking cost.
+        """
+        if pairs is None:
+            if dataset is None:
+                raise ValueError("either dataset or pairs is required")
+            pairs = self.candidate_pairs(dataset)
         counts: dict[str, int] = {}
-        for pair in self.candidate_pairs(dataset):
+        for pair in pairs:
             counts[pair.blocking] = counts.get(pair.blocking, 0) + 1
         return counts

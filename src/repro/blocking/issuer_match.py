@@ -11,11 +11,30 @@ candidates even when they share no identifiers and have generic names.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
-from repro.datagen.records import Dataset, SecurityRecord
+from repro.datagen.records import Dataset, Record, SecurityRecord
 from repro.registry import register_blocking
+
+
+@dataclass(frozen=True)
+class IssuerGroupIndex:
+    """Shared state of the sharded protocol: securities grouped by issuer.
+
+    Groups preserve first-encounter order (the order the serial pair loop
+    walks) and each group's security list is in dataset order.
+    ``groups_by_owner`` inverts the ownership rule so a chunk only touches
+    the groups it owns: it maps each group's *first security* record to the
+    group keys it owns, in encounter order, pre-filtered to groups that can
+    produce pairs.
+    """
+
+    #: issuer group index -> securities issued by that group, dataset order.
+    securities_by_group: dict[int, list[SecurityRecord]]
+    #: first-security record id -> its owned multi-security groups, in order.
+    groups_by_owner: dict[str, list[int]]
 
 
 @register_blocking("issuer_match")
@@ -23,6 +42,7 @@ class IssuerMatchBlocking(Blocking):
     """Candidates among securities whose issuers were matched together."""
 
     name = "issuer_match"
+    shardable = True
 
     def __init__(
         self,
@@ -45,6 +65,11 @@ class IssuerMatchBlocking(Blocking):
         self.cross_source_only = cross_source_only
 
     def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
+        shared = self.prepare(dataset)
+        return dedupe_pairs(self.candidates_for(shared, dataset.records))
+
+    def prepare(self, dataset: Dataset) -> IssuerGroupIndex:
+        """Group the dataset's securities by matched issuer group, once."""
         securities_by_group: dict[int, list[SecurityRecord]] = defaultdict(list)
         for record in dataset:
             if not isinstance(record, SecurityRecord):
@@ -55,17 +80,36 @@ class IssuerMatchBlocking(Blocking):
             if group is None:
                 continue
             securities_by_group[group].append(record)
+        groups_by_owner: dict[str, list[int]] = defaultdict(list)
+        for group, securities in securities_by_group.items():
+            if len(securities) >= 2:
+                groups_by_owner[securities[0].record_id].append(group)
+        return IssuerGroupIndex(
+            securities_by_group=dict(securities_by_group),
+            groups_by_owner=dict(groups_by_owner),
+        )
 
+    def candidates_for(
+        self, shared: IssuerGroupIndex, records: Sequence[Record]
+    ) -> list[CandidatePair]:
+        """Emit the pairs of every issuer group *first seen* in the chunk.
+
+        Mirrors :meth:`IdOverlapBlocking.candidates_for`: the serial loop is
+        group-major in first-encounter order, so assigning each group to the
+        chunk containing its first security keeps chunk concatenation equal
+        to the serial stream — walked owner-record by owner-record so each
+        chunk costs only its share of the index.
+        """
         pairs: list[CandidatePair] = []
-        for securities in securities_by_group.values():
-            if len(securities) < 2:
-                continue
-            for i, left in enumerate(securities):
-                for right in securities[i + 1:]:
-                    if self.cross_source_only and left.source == right.source:
-                        continue
-                    pairs.append(self._make_pair(left, right))
-        return dedupe_pairs(pairs)
+        for record in records:
+            for group in shared.groups_by_owner.get(record.record_id, ()):
+                securities = shared.securities_by_group[group]
+                for i, left in enumerate(securities):
+                    for right in securities[i + 1:]:
+                        if self.cross_source_only and left.source == right.source:
+                            continue
+                        pairs.append(self._make_pair(left, right))
+        return pairs
 
     @classmethod
     def from_company_groups(

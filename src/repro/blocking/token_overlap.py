@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
+from dataclasses import dataclass
+from collections.abc import Sequence
 
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset, Record
@@ -24,11 +26,41 @@ from repro.registry import register_blocking
 from repro.text.tokenize import word_tokenize
 
 
+@dataclass(frozen=True)
+class TokenIndex:
+    """Shared state of the sharded protocol: one global pass over the data.
+
+    Built once by :meth:`TokenOverlapBlocking.prepare`; scoring shards read
+    it without touching the dataset again.  Global on purpose: document
+    frequencies and the frequency cutoff computed per shard would differ
+    from the serial run and change per-record top-n selections.
+    """
+
+    #: record id -> sorted token tuple, in dataset order.  Sorted (not a
+    #: set) so iteration — and therefore the order IDF weights are summed
+    #: in — is identical in the parent and in spawn-started pool workers,
+    #: where an unpickled set would iterate under a different hash seed and
+    #: 1-ULP summation differences could flip top-n boundary candidates.
+    record_tokens: dict[str, tuple[str, ...]]
+    #: token -> number of tokenised records containing it.
+    document_frequency: Counter
+    #: token -> record ids containing it (frequency-cutoff survivors only),
+    #: in dataset order.
+    token_index: dict[str, list[str]]
+    #: record id -> source name.
+    sources: dict[str, str]
+    #: IDF denominator: records with at least one token.  Token-less records
+    #: can never be candidates, so counting them would only dilute the IDF
+    #: weights and inflate the frequency cutoff.
+    num_tokenised: int
+
+
 @register_blocking("token_overlap")
 class TokenOverlapBlocking(Blocking):
     """Top-n most token-overlapping records across different sources."""
 
     name = "token_overlap"
+    shardable = True
 
     def __init__(
         self,
@@ -49,16 +81,23 @@ class TokenOverlapBlocking(Blocking):
         self.max_token_frequency = max_token_frequency
 
     def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
+        shared = self.prepare(dataset)
+        return dedupe_pairs(self.candidates_for(shared, dataset.records))
+
+    def prepare(self, dataset: Dataset) -> TokenIndex:
+        """Build the inverted token index and document frequencies once."""
         record_tokens = {
-            record.record_id: self._tokens(record) for record in dataset
+            record.record_id: tuple(sorted(self._tokens(record)))
+            for record in dataset
         }
-        num_records = max(len(record_tokens), 1)
+        num_tokenised = sum(1 for tokens in record_tokens.values() if tokens)
+        num_tokenised = max(num_tokenised, 1)
 
         document_frequency: Counter[str] = Counter()
         for tokens in record_tokens.values():
             document_frequency.update(tokens)
 
-        frequency_cutoff = self.max_token_frequency * num_records
+        frequency_cutoff = self.max_token_frequency * num_tokenised
         token_index: dict[str, list[str]] = defaultdict(list)
         for record_id, tokens in record_tokens.items():
             for token in tokens:
@@ -66,25 +105,45 @@ class TokenOverlapBlocking(Blocking):
                     token_index[token].append(record_id)
 
         sources = {record.record_id: record.source for record in dataset}
+        return TokenIndex(
+            record_tokens=record_tokens,
+            document_frequency=document_frequency,
+            token_index=dict(token_index),
+            sources=sources,
+            num_tokenised=num_tokenised,
+        )
 
+    def candidates_for(
+        self, shared: TokenIndex, records: Sequence[Record]
+    ) -> list[CandidatePair]:
+        """Score one chunk of records against the global index.
+
+        A pair is owned by the record whose top-n selection produced it, so
+        every chunk emits exactly the pairs the serial per-record loop emits
+        for its records — chunk concatenation reproduces the serial stream.
+        """
         pairs: list[CandidatePair] = []
-        for record_id, tokens in record_tokens.items():
+        for record in records:
+            record_id = record.record_id
+            tokens = shared.record_tokens[record_id]
             scores: dict[str, float] = defaultdict(float)
             for token in tokens:
-                candidates = token_index.get(token, ())
+                candidates = shared.token_index.get(token, ())
                 if not candidates:
                     continue
-                weight = 1.0 + math.log(num_records / document_frequency[token])
+                weight = 1.0 + math.log(
+                    shared.num_tokenised / shared.document_frequency[token]
+                )
                 for other_id in candidates:
                     if other_id == record_id:
                         continue
-                    if sources[other_id] == sources[record_id]:
+                    if shared.sources[other_id] == shared.sources[record_id]:
                         continue
                     scores[other_id] += weight
             best = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[: self.top_n]
             for other_id, _ in best:
                 pairs.append(self._make_pair(record_id, other_id))
-        return dedupe_pairs(pairs)
+        return pairs
 
     def _tokens(self, record: Record) -> set[str]:
         tokens: set[str] = set()

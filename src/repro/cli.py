@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from collections.abc import Sequence
 
@@ -64,6 +65,33 @@ def _require_dataset(path: Path) -> Dataset | None:
     return read_dataset_csv(path)
 
 
+#: The execution-engine flags shared by ``match`` and ``run``; each maps 1:1
+#: onto a ``pipeline.runtime`` spec key.
+_RUNTIME_FLAG_KEYS = ("workers", "batch_size", "executor", "blocking_shards")
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser, *, overrides: bool) -> None:
+    """Attach the runtime flags to a subcommand parser.
+
+    With ``overrides=True`` (the ``run`` subcommand) every default is
+    ``None`` so that only flags the user actually typed override the spec
+    file — CLI beats spec, spec beats library default.
+    """
+    parser.add_argument("--workers", type=positive_int,
+                        default=None if overrides else 1,
+                        help="execution-engine worker slots (1 = serial engine)")
+    parser.add_argument("--batch-size", type=positive_int,
+                        default=None if overrides else 2048,
+                        help="candidate pairs per pairwise-inference chunk")
+    parser.add_argument("--executor", choices=list(EXECUTOR_KINDS),
+                        default=None if overrides else "process",
+                        help="worker pool flavour used when --workers > 1")
+    parser.add_argument("--blocking-shards", type=positive_int,
+                        default=None if overrides else 1,
+                        help="record chunks candidate generation is sharded "
+                             "into (1 = one task per blocking)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testability)."""
     parser = argparse.ArgumentParser(
@@ -100,12 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="model spec name (see repro.matching.models.MODEL_SPECS)")
     match.add_argument("--epochs", type=positive_int, default=3, help="fine-tuning epochs")
     match.add_argument("--seed", type=int, default=0, help="split / sampling seed")
-    match.add_argument("--workers", type=positive_int, default=1,
-                       help="execution-engine worker slots (1 = serial engine)")
-    match.add_argument("--batch-size", type=positive_int, default=2048,
-                       help="candidate pairs per pairwise-inference chunk")
-    match.add_argument("--executor", choices=list(EXECUTOR_KINDS), default="process",
-                       help="worker pool flavour used when --workers > 1")
+    _add_runtime_flags(match, overrides=False)
 
     run = subparsers.add_parser(
         "run", help="run an experiment described by a declarative JSON/TOML spec"
@@ -114,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="path to an experiment spec (.toml or .json)")
     run.add_argument("--dataset", type=Path, default=None,
                      help="dataset CSV overriding the spec's experiment.dataset path")
+    _add_runtime_flags(run, overrides=True)
     return parser
 
 
@@ -169,6 +193,7 @@ def _command_match(args: argparse.Namespace) -> int:
                     workers=args.workers,
                     batch_size=args.batch_size,
                     executor=args.executor,
+                    blocking_shards=args.blocking_shards,
                 ),
             ),
         )
@@ -180,6 +205,26 @@ def _command_match(args: argparse.Namespace) -> int:
     return _run_spec(spec, args.dataset)
 
 
+def _apply_runtime_overrides(
+    spec: ExperimentSpec, args: argparse.Namespace
+) -> ExperimentSpec:
+    """Overlay explicitly-typed runtime flags on a loaded spec.
+
+    Precedence: a flag the user passed beats the spec file's
+    ``[pipeline.runtime]`` value, which beats the library default — flags
+    left at their ``None`` default never touch the spec.
+    """
+    overrides = {
+        key: value
+        for key in _RUNTIME_FLAG_KEYS
+        if (value := getattr(args, key)) is not None
+    }
+    if not overrides:
+        return spec
+    runtime = replace(spec.pipeline.runtime, **overrides)
+    return replace(spec, pipeline=replace(spec.pipeline, runtime=runtime))
+
+
 def _command_run(args: argparse.Namespace) -> int:
     from repro.api import load_spec
 
@@ -187,7 +232,7 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"error: spec file not found: {args.config}", file=sys.stderr)
         return 2
     try:
-        spec = load_spec(args.config)
+        spec = _apply_runtime_overrides(load_spec(args.config), args)
     except SpecValidationError as error:
         print(f"error: invalid spec {args.config}: {error}", file=sys.stderr)
         return 2

@@ -14,7 +14,7 @@ the regression suite pins this on a golden dataset.
 from repro.runtime.config import EXECUTOR_KINDS, RuntimeConfig
 from repro.runtime.engine import PipelineRuntime
 from repro.runtime.profiler import StageProfiler
-from repro.runtime.scheduler import ChunkScheduler, chunked
+from repro.runtime.scheduler import ChunkScheduler, chunked, even_spans, split_evenly
 
 __all__ = [
     "EXECUTOR_KINDS",
@@ -23,4 +23,6 @@ __all__ = [
     "StageProfiler",
     "ChunkScheduler",
     "chunked",
+    "even_spans",
+    "split_evenly",
 ]

@@ -7,7 +7,10 @@ and pairwise inference) into chunks and fans them out over a
 * ``workers`` bounds the parallelism,
 * ``batch_size`` bounds the per-task granularity — large enough to amortize
   scheduling (and, for process pools, pickling) overhead, small enough to
-  keep all workers busy and the per-chunk timings informative.
+  keep all workers busy and the per-chunk timings informative,
+* ``blocking_shards`` splits candidate generation itself into record chunks
+  (shared index built once, per-chunk scoring fanned out), so a single
+  blocking scales beyond one core.
 """
 
 from __future__ import annotations
@@ -36,6 +39,12 @@ class RuntimeConfig:
     #: "thread"), while "thread" avoids pickling and suits matchers that
     #: release the GIL (numpy-heavy forward passes) or do I/O.
     executor: str = "process"
+    #: Record chunks candidate generation is sharded into; 1 means each
+    #: blocking runs as one task (the pre-sharding behaviour).  Sharding is
+    #: deterministic at any shard count: the shared index is global and the
+    #: per-chunk results merge in record order, so the candidates are
+    #: byte-identical to the serial run.
+    blocking_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -47,6 +56,10 @@ class RuntimeConfig:
         if self.executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.blocking_shards < 1:
+            raise ValueError(
+                f"blocking_shards must be a positive integer, got {self.blocking_shards}"
             )
 
     @property

@@ -6,9 +6,15 @@
 data-parallel stages here:
 
 * **candidate generation** — a composite blocking is partitioned into its
-  independent sub-blockings, which are fanned out over the pool and merged
-  in declaration order (first blocking wins on duplicates, exactly like the
-  serial :class:`~repro.blocking.combine.CombinedBlocking`),
+  independent sub-blockings, and each shardable sub-blocking is further
+  split into record chunks (``blocking_shards``): the blocking's
+  :meth:`~repro.blocking.base.Blocking.prepare` builds the shared state
+  (inverted index, document frequencies) once in the parent, the per-chunk
+  :meth:`~repro.blocking.base.Blocking.candidates_for` calls fan out over
+  the pool, and the results merge parts-major / chunks-minor — declaration
+  order first, record order second — before one global de-duplication, so
+  first blocking wins on duplicates exactly like the serial
+  :class:`~repro.blocking.combine.CombinedBlocking`,
 * **pairwise inference** — candidates are chunked into ``batch_size`` record
   pairs; every chunk goes through the matcher's batched
   :meth:`~repro.matching.base.PairwiseMatcher.decide_batches` entry point,
@@ -27,14 +33,16 @@ borderline probabilities at the last ULP.)
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import Any
 
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
-from repro.datagen.records import Dataset
+from repro.datagen.records import Dataset, Record
 from repro.matching.base import MatchDecision, PairwiseMatcher, RecordPair
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.profiler import StageProfiler
-from repro.runtime.scheduler import ChunkScheduler, chunked
+from repro.runtime.scheduler import ChunkScheduler, chunked, even_spans
 
 
 def _decide_chunk(
@@ -49,9 +57,40 @@ def _decide_chunk(
     return matcher.decide_batches([pairs])[0]
 
 
-def _blocking_part(dataset: Dataset, blocking: Blocking) -> list[CandidatePair]:
-    """Worker task: candidate pairs of one sub-blocking."""
-    return blocking.candidate_pairs(dataset)
+@dataclass(frozen=True)
+class _BlockingPlan:
+    """Per-run shared state shipped to every blocking worker once.
+
+    ``parts`` are the partitioned sub-blockings, ``states`` their prepared
+    shared state (``None`` for parts running unsharded), ``records`` the
+    dataset's records (present when any task is sharded), ``dataset`` the
+    full dataset (present only when some part runs unsharded).  Everything
+    bulky rides here — via the process-pool initializer this is pickled
+    once per *worker* — so the per-task payload is just a pair of indexes.
+    """
+
+    parts: tuple[Blocking, ...]
+    states: tuple[Any, ...]
+    records: tuple[Record, ...] | None
+    dataset: Dataset | None
+
+
+@dataclass(frozen=True)
+class _BlockingTask:
+    """One pool task: a record-index span of one part, or a whole unsharded
+    part (``span=None``)."""
+
+    part: int
+    span: tuple[int, int] | None
+
+
+def _blocking_task(plan: _BlockingPlan, task: _BlockingTask) -> list[CandidatePair]:
+    """Worker task: candidates of one record chunk (or one whole part)."""
+    blocking = plan.parts[task.part]
+    if task.span is None:
+        return blocking.candidate_pairs(plan.dataset)
+    start, stop = task.span
+    return blocking.candidates_for(plan.states[task.part], plan.records[start:stop])
 
 
 class PipelineRuntime:
@@ -69,26 +108,54 @@ class PipelineRuntime:
         dataset: Dataset,
         profiler: StageProfiler | None = None,
     ) -> list[CandidatePair]:
-        """Generate candidate pairs, fanning out composite blockings.
+        """Generate candidate pairs, fanning out parts and record shards.
 
-        A blocking that partitions into a single part (every non-composite
-        blocking) runs in-process.  Composite blockings run one part per
-        pool task; merging concatenates the parts in declaration order and
-        de-duplicates keeping the first occurrence, which reproduces the
-        serial semantics bit for bit.
+        The task list is built parts-major, chunks-minor: the blocking is
+        partitioned into its independent parts (declaration order), and each
+        shardable part is split into ``blocking_shards`` consecutive record
+        chunks — its :meth:`~repro.blocking.base.Blocking.prepare` runs once
+        here in the parent, the chunk tasks only score.  Non-shardable parts
+        stay one task each.  All tasks go through one scheduler call (one
+        pool), results merge in submission order, and a single global
+        de-duplication keeps the first occurrence — which reproduces the
+        serial semantics bit for bit, including first-blocking-wins tags.
         """
         parts = blocking.partition()
-        if len(parts) == 1 or not self.config.is_parallel:
+        shards = self.config.blocking_shards
+        tasks: list[_BlockingTask] = []
+        states: list[Any] = []
+        for index, part in enumerate(parts):
+            if shards > 1 and part.shardable:
+                states.append(part.prepare(dataset))
+                tasks.extend(
+                    _BlockingTask(index, span)
+                    for span in even_spans(len(dataset), shards)
+                )
+            else:
+                states.append(None)
+                tasks.append(_BlockingTask(index, None))
+        if len(tasks) == 1 and tasks[0].span is None:
+            # One whole-part task: skip the plan plumbing entirely.
             return blocking.candidate_pairs(dataset)
-        per_part = self.scheduler.map_chunks(
-            _blocking_part,
-            parts,
+        needs_records = any(task.span is not None for task in tasks)
+        needs_dataset = any(task.span is None for task in tasks)
+        # Both can ride along in the mixed case: one pickling pass memoizes
+        # the Record objects the dataset and the tuple share.
+        plan = _BlockingPlan(
+            parts=tuple(parts),
+            states=tuple(states),
+            records=tuple(dataset.records) if needs_records else None,
+            dataset=dataset if needs_dataset else None,
+        )
+        per_task = self.scheduler.map_chunks(
+            _blocking_task,
+            tasks,
             stage="blocking",
             profiler=profiler,
-            shared=dataset,
+            shared=plan,
         )
         merged: list[CandidatePair] = []
-        for pairs in per_part:
+        for pairs in per_task:
             merged.extend(pairs)
         return dedupe_pairs(merged)
 

@@ -53,9 +53,14 @@ class StageProfiler:
         Stage totals keep their plain names; chunk durations are keyed
         ``"<stage>/chunk<index>"`` so a flat ``dict[str, float]`` remains
         backward compatible for consumers that only read the stage keys.
+        The index is zero-padded to the stage's chunk count (at least three
+        digits, so the common keys stay stable), keeping lexicographic key
+        order equal to chunk order at any chunk count — 1000+ chunks are
+        routine once blocking is record-sharded.
         """
         timings: dict[str, float] = dict(self._stages)
         for stage, chunks in self._chunks.items():
+            width = max(3, len(str(len(chunks) - 1)))
             for index, seconds in enumerate(chunks):
-                timings[f"{stage}/chunk{index:03d}"] = seconds
+                timings[f"{stage}/chunk{index:0{width}d}"] = seconds
         return timings

@@ -38,6 +38,44 @@ def chunked(items: Sequence[T], size: int) -> list[list[T]]:
     return [list(items[start:start + size]) for start in range(0, len(items), size)]
 
 
+def even_spans(count: int, parts: int) -> list[tuple[int, int]]:
+    """At most ``parts`` consecutive, near-equal ``(start, stop)`` spans.
+
+    The index arithmetic behind :func:`split_evenly`, exposed separately so
+    callers that only need boundaries (the sharded blocking fan-out ships
+    spans, not copies) skip materialising the chunks.  Sizes differ by at
+    most one (larger spans first), the spans tile ``range(count)`` exactly,
+    and none is empty — fewer than ``parts`` spans when ``count < parts``.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be a positive integer, got {parts}")
+    parts = min(parts, count)
+    if parts == 0:
+        return []
+    base, extra = divmod(count, parts)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def split_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split ``items`` into at most ``parts`` consecutive, near-equal chunks.
+
+    Sizes differ by at most one (the larger chunks come first), the
+    concatenation of the chunks is exactly ``items``, and no chunk is empty
+    — fewer than ``parts`` chunks are returned when there are fewer items.
+    The count-based, list-materialising counterpart of :func:`chunked`; the
+    engine's sharded blocking fan-out ships :func:`even_spans` boundaries
+    instead and slices worker-side, so this helper is for callers that want
+    the chunks themselves.
+    """
+    return [list(items[start:stop]) for start, stop in even_spans(len(items), parts)]
+
+
 def timed_call(fn: Callable[[T], R], chunk: T) -> tuple[R, float]:
     """Run ``fn(chunk)`` and return ``(result, seconds)``.
 

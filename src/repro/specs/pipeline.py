@@ -149,6 +149,7 @@ class RuntimeSpec:
     workers: int = 1
     batch_size: int = 2048
     executor: str = "process"
+    blocking_shards: int = 1
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {}
@@ -158,12 +159,16 @@ class RuntimeSpec:
             data["batch_size"] = self.batch_size
         if self.executor != "process":
             data["executor"] = self.executor
+        if self.blocking_shards != 1:
+            data["blocking_shards"] = self.blocking_shards
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], key: str) -> "RuntimeSpec":
         table = _expect_table(data, key)
-        _reject_unknown_keys(table, {"workers", "batch_size", "executor"}, key)
+        _reject_unknown_keys(
+            table, {"workers", "batch_size", "executor", "blocking_shards"}, key
+        )
         executor = _expect_str(table.get("executor", "process"), f"{key}.executor")
         from repro.runtime import EXECUTOR_KINDS
 
@@ -175,13 +180,19 @@ class RuntimeSpec:
             workers=_expect_int(table.get("workers", 1), f"{key}.workers", minimum=1),
             batch_size=_expect_int(table.get("batch_size", 2048), f"{key}.batch_size", minimum=1),
             executor=executor,
+            blocking_shards=_expect_int(
+                table.get("blocking_shards", 1), f"{key}.blocking_shards", minimum=1
+            ),
         )
 
     def to_runtime_config(self):
         from repro.runtime import RuntimeConfig
 
         return RuntimeConfig(
-            workers=self.workers, batch_size=self.batch_size, executor=self.executor
+            workers=self.workers,
+            batch_size=self.batch_size,
+            executor=self.executor,
+            blocking_shards=self.blocking_shards,
         )
 
 

@@ -88,6 +88,41 @@ class TestTokenOverlapBlocking:
         assert len(small) <= len(large)
         assert len(large) <= len(companies) * 5
 
+    def test_tokenless_records_do_not_dilute_the_idf(self):
+        # Records without a single token can never become candidates, so
+        # they must not count in the IDF denominator or the frequency
+        # cutoff: padding a dataset with empty-name records must leave the
+        # candidates untouched.  (Counting them raises the cutoff, which
+        # can re-admit quadratic-blowup tokens like "inc".)
+        from repro.datagen.records import CompanyRecord, Dataset
+
+        names = [
+            "Crowdstrike Holdings", "Crowdstreet Holdings",
+            "Nimbus Holdings Analytics", "Quantum Forge Labs",
+        ]
+        records = [
+            CompanyRecord(record_id=f"#{i}", source=f"S{i % 2}",
+                          entity_id=f"E{i}", name=name)
+            for i, name in enumerate(names)
+        ]
+        blocking = TokenOverlapBlocking(top_n=2, max_token_frequency=0.5)
+        baseline = blocking.candidate_pairs(Dataset("base", records))
+
+        padded_records = records + [
+            CompanyRecord(record_id=f"#pad{i}", source="S0",
+                          entity_id=f"Epad{i}", name="")
+            for i in range(4)
+        ]
+        padded = blocking.candidate_pairs(Dataset("padded", padded_records))
+        assert padded == baseline
+        # "holdings" appears in 3 of the 4 tokenised records — above the
+        # 0.5 cutoff, so it stays excluded.  Counting the four token-less
+        # pad records would lift the cutoff to 4 and re-admit it, creating
+        # a spurious Crowdstrike–Crowdstreet candidate.
+        shared = blocking.prepare(Dataset("padded", padded_records))
+        assert shared.num_tokenised == 4
+        assert "holdings" not in shared.token_index
+
     def test_improves_recall_over_id_blocking(self, blocking_benchmark):
         companies = blocking_benchmark.companies
         id_recall = recall_of_blocking(
@@ -154,6 +189,29 @@ class TestCombinedBlocking:
         counts = combined.pairs_by_blocking(companies)
         assert set(counts) <= {"id_overlap", "token_overlap"}
         assert sum(counts.values()) == len(combined.candidate_pairs(companies))
+
+    def test_pairs_by_blocking_accepts_precomputed_pairs(self, blocking_benchmark):
+        # Counting from already-computed candidates must not re-run the
+        # member blockings — stats reporting should not double blocking cost.
+        companies = blocking_benchmark.companies
+        calls = {"count": 0}
+
+        class CountingIdOverlap(IdOverlapBlocking):
+            def candidate_pairs(self, dataset):
+                calls["count"] += 1
+                return super().candidate_pairs(dataset)
+
+        combined = CombinedBlocking([CountingIdOverlap(), TokenOverlapBlocking(top_n=3)])
+        pairs = combined.candidate_pairs(companies)
+        assert calls["count"] == 1
+        counts = combined.pairs_by_blocking(pairs=pairs)
+        assert calls["count"] == 1
+        assert counts == combined.pairs_by_blocking(companies)
+
+    def test_pairs_by_blocking_requires_dataset_or_pairs(self):
+        combined = CombinedBlocking([IdOverlapBlocking()])
+        with pytest.raises(ValueError, match="dataset or pairs"):
+            combined.pairs_by_blocking()
 
 
 class TestHelpers:

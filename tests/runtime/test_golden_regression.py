@@ -52,6 +52,14 @@ RUNTIMES = [
     pytest.param(None, id="serial"),
     pytest.param(RuntimeConfig(workers=2, batch_size=64, executor="thread"), id="thread"),
     pytest.param(RuntimeConfig(workers=2, batch_size=64, executor="process"), id="process"),
+    pytest.param(
+        RuntimeConfig(workers=2, batch_size=64, executor="thread", blocking_shards=4),
+        id="thread-sharded",
+    ),
+    pytest.param(
+        RuntimeConfig(workers=2, batch_size=64, executor="process", blocking_shards=4),
+        id="process-sharded",
+    ),
 ]
 
 

@@ -104,6 +104,33 @@ class TestStageProfiler:
         assert timings["pairwise_matching/chunk000"] == 0.5
         assert timings["pairwise_matching/chunk001"] == 1.0
 
+    @pytest.mark.parametrize("num_chunks", [1, 999, 1000, 12345])
+    def test_chunk_keys_sort_lexicographically_at_any_count(self, num_chunks):
+        # The pad width grows with the chunk count (min 3 digits), so
+        # lexicographic key order equals chunk order past 999 chunks —
+        # record-sharded blocking makes thousand-chunk stages routine.
+        profiler = StageProfiler()
+        for index in range(num_chunks):
+            profiler.record_chunk("blocking", float(index))
+        keys = [key for key in profiler.as_timings() if key.startswith("blocking/chunk")]
+        assert len(keys) == num_chunks
+        assert sorted(keys) == keys
+        timings = profiler.as_timings()
+        assert [timings[key] for key in sorted(keys)] == [float(i) for i in range(num_chunks)]
+
+    def test_pad_width_is_per_stage_and_backward_compatible(self):
+        profiler = StageProfiler()
+        for index in range(1001):
+            profiler.record_chunk("big", float(index))
+        profiler.record_chunk("small", 1.0)
+        timings = profiler.as_timings()
+        # ≤1000 chunks keep the historical three-digit keys.
+        assert "small/chunk000" in timings
+        # Index 1000 needs four digits — throughout the stage, so the keys
+        # still sort.
+        assert "big/chunk0000" in timings and "big/chunk1000" in timings
+        assert "big/chunk000" not in timings
+
 
 class TestDecideBatches:
     def test_matches_per_batch_decisions(self):

@@ -35,7 +35,8 @@ def full_pipeline_spec() -> PipelineSpec:
         ),
         cleanup=CleanupSpec(strategy="gralmatch", gamma=20, mu=4),
         pre_cleanup=PreCleanupSpec(enabled=True, max_component_size=30),
-        runtime=RuntimeSpec(workers=2, batch_size=64, executor="thread"),
+        runtime=RuntimeSpec(workers=2, batch_size=64, executor="thread",
+                            blocking_shards=3),
     )
 
 
@@ -110,6 +111,8 @@ class TestValidationErrorsNameTheKey:
             ("[pipeline.cleanup]\nmu = 0\n", "pipeline.cleanup.mu"),
             ('[pipeline.runtime]\nexecutor = "fiber"\n', "pipeline.runtime.executor"),
             ("[pipeline.runtime]\nworkers = -1\n", "pipeline.runtime.workers"),
+            ("[pipeline.runtime]\nblocking_shards = 0\n", "pipeline.runtime.blocking_shards"),
+            ('[pipeline.runtime]\nblocking_shards = "all"\n', "pipeline.runtime.blocking_shards"),
         ],
     )
     def test_offending_key_is_named(self, document, key):
@@ -151,7 +154,8 @@ class TestBuildPipelineEquivalence:
             ),
             cleanup_config=CleanupConfig(gamma=20, mu=4),
             pre_cleanup_config=PreCleanupConfig(enabled=True, max_component_size=30),
-            runtime=RuntimeConfig(workers=2, batch_size=64, executor="thread"),
+            runtime=RuntimeConfig(workers=2, batch_size=64, executor="thread",
+                                  blocking_shards=3),
         )
         spec = full_pipeline_spec()
         text = getattr(spec, f"to_{fmt}")()

@@ -30,15 +30,38 @@ class TestParser:
         assert args.workers == 1
         assert args.batch_size == 2048
         assert args.executor == "process"
+        assert args.blocking_shards == 1
 
     def test_match_runtime_flags(self):
         args = build_parser().parse_args([
             "match", "data.csv", "--workers", "4",
             "--batch-size", "512", "--executor", "thread",
+            "--blocking-shards", "8",
         ])
         assert args.workers == 4
         assert args.batch_size == 512
         assert args.executor == "thread"
+        assert args.blocking_shards == 8
+
+    def test_run_runtime_flags_default_to_unset(self):
+        # `run` must distinguish "not passed" from any concrete value so the
+        # spec file's [pipeline.runtime] survives unless overridden.
+        args = build_parser().parse_args(["run", "config.toml"])
+        assert args.workers is None
+        assert args.batch_size is None
+        assert args.executor is None
+        assert args.blocking_shards is None
+
+    def test_run_accepts_runtime_flags(self):
+        args = build_parser().parse_args([
+            "run", "config.toml", "--workers", "3",
+            "--batch-size", "128", "--executor", "thread",
+            "--blocking-shards", "4",
+        ])
+        assert args.workers == 3
+        assert args.batch_size == 128
+        assert args.executor == "thread"
+        assert args.blocking_shards == 4
 
     @pytest.mark.parametrize("flag,value", [
         ("--workers", "0"),
@@ -254,3 +277,57 @@ class TestRunCommand:
         )
         assert main(["run", str(config)]) == 2
         assert "dataset file not found" in capsys.readouterr().err
+
+
+class TestRunRuntimeOverrides:
+    SPEC = (
+        '[experiment]\nkind = "companies"\nmodel = "logistic"\nepochs = 1\n'
+        "[pipeline.runtime]\nworkers = 2\nbatch_size = 32\nexecutor = \"thread\"\n"
+    )
+
+    def _overridden_runtime(self, tmp_path, extra_argv):
+        from repro.api import load_spec
+        from repro.cli import _apply_runtime_overrides
+
+        config = tmp_path / "experiment.toml"
+        config.write_text(self.SPEC)
+        args = build_parser().parse_args(["run", str(config)] + extra_argv)
+        return _apply_runtime_overrides(load_spec(config), args).pipeline.runtime
+
+    def test_no_flags_keep_spec_values(self, tmp_path):
+        runtime = self._overridden_runtime(tmp_path, [])
+        assert runtime.workers == 2
+        assert runtime.batch_size == 32
+        assert runtime.executor == "thread"
+        assert runtime.blocking_shards == 1
+
+    def test_cli_flags_beat_spec_values(self, tmp_path):
+        runtime = self._overridden_runtime(
+            tmp_path, ["--workers", "1", "--blocking-shards", "4"]
+        )
+        # Overridden by the CLI:
+        assert runtime.workers == 1
+        assert runtime.blocking_shards == 4
+        # Untouched flags keep the spec file's values, not the defaults:
+        assert runtime.batch_size == 32
+        assert runtime.executor == "thread"
+
+    def test_sharded_run_reproduces_plain_run(self, tmp_path, capsys):
+        benchmark = generate_benchmark(
+            GenerationConfig(num_entities=30, num_sources=3, seed=6)
+        )
+        dataset = write_dataset_csv(benchmark.companies, tmp_path / "companies.csv")
+        config = tmp_path / "experiment.toml"
+        config.write_text(
+            "[experiment]\n"
+            f'dataset = "{dataset}"\n'
+            'kind = "companies"\nmodel = "logistic"\nepochs = 1\nseed = 0\n'
+        )
+        assert main(["run", str(config)]) == 0
+        plain_output = capsys.readouterr().out
+        assert main([
+            "run", str(config), "--workers", "2", "--executor", "thread",
+            "--blocking-shards", "3",
+        ]) == 0
+        sharded_output = capsys.readouterr().out
+        assert _score_cells(sharded_output) == _score_cells(plain_output)
