@@ -67,7 +67,13 @@ def _require_dataset(path: Path) -> Dataset | None:
 
 #: The execution-engine flags shared by ``match`` and ``run``; each maps 1:1
 #: onto a ``pipeline.runtime`` spec key.
-_RUNTIME_FLAG_KEYS = ("workers", "batch_size", "executor", "blocking_shards")
+_RUNTIME_FLAG_KEYS = (
+    "workers",
+    "batch_size",
+    "executor",
+    "blocking_shards",
+    "profile_cache",
+)
 
 
 def _add_runtime_flags(parser: argparse.ArgumentParser, *, overrides: bool) -> None:
@@ -90,6 +96,12 @@ def _add_runtime_flags(parser: argparse.ArgumentParser, *, overrides: bool) -> N
                         default=None if overrides else 1,
                         help="record chunks candidate generation is sharded "
                              "into (1 = one task per blocking)")
+    parser.add_argument("--profile-cache", action=argparse.BooleanOptionalAction,
+                        default=None if overrides else True,
+                        help="score pairwise inference from per-record feature "
+                             "profiles prepared once per run (byte-identical "
+                             "output either way; --no-profile-cache forces the "
+                             "per-pair recompute path)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,6 +206,7 @@ def _command_match(args: argparse.Namespace) -> int:
                     batch_size=args.batch_size,
                     executor=args.executor,
                     blocking_shards=args.blocking_shards,
+                    profile_cache=args.profile_cache,
                 ),
             ),
         )

@@ -12,6 +12,9 @@ serialised record pair, produce a Match / NoMatch probability.
   sampling (the 5:1 scheme of Section 5.1.3),
 * :mod:`repro.matching.features` — similarity features for the classical
   baseline,
+* :mod:`repro.matching.profiles` — per-record feature profiles
+  (:class:`RecordProfile` / :class:`ProfileStore`): record-local
+  derivations computed once, pairs scored from profiles,
 * :mod:`repro.matching.logistic` — logistic-regression matcher,
 * :mod:`repro.matching.nn` — numpy neural-network building blocks,
 * :mod:`repro.matching.attention` — the Transformer-style cross-encoder
@@ -27,6 +30,7 @@ serialised record pair, produce a Match / NoMatch probability.
 from repro.matching.base import MatchDecision, PairwiseMatcher, ScoredPair
 from repro.matching.pairs import LabeledPair, PairSampler, build_labeled_pairs
 from repro.matching.features import PairFeatureExtractor
+from repro.matching.profiles import ProfileStore, RecordProfile, build_profile
 from repro.matching.logistic import LogisticRegressionMatcher
 from repro.matching.attention import TransformerPairClassifier
 from repro.matching.heuristic import IdOverlapMatcher, ThresholdNameMatcher
@@ -41,6 +45,9 @@ __all__ = [
     "PairSampler",
     "build_labeled_pairs",
     "PairFeatureExtractor",
+    "ProfileStore",
+    "RecordProfile",
+    "build_profile",
     "LogisticRegressionMatcher",
     "TransformerPairClassifier",
     "IdOverlapMatcher",

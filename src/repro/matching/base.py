@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.datagen.records import Record
 
@@ -45,11 +46,38 @@ class MatchDecision:
 RecordPair = tuple[Record, Record]
 
 
+#: An unordered pair referenced by record id — the task payload of the
+#: profiled inference path (the records themselves live in the profile
+#: store, shipped to each worker once).
+IdPair = tuple[str, str]
+
+
 class PairwiseMatcher(ABC):
-    """Binary Match / NoMatch classifier over record pairs."""
+    """Binary Match / NoMatch classifier over record pairs.
+
+    Besides the record-pair entry points, a matcher may opt into the
+    *profiled* two-phase protocol (``profile_capable = True``), the matching
+    analogue of the blocking layer's shardable protocol:
+
+    1. :meth:`prepare_profiles` derives per-record state from the dataset
+       once (for the feature-based matchers: a
+       :class:`~repro.matching.profiles.ProfileStore`).  Runs in the parent
+       process; the result must be picklable.
+    2. :meth:`decide_profiled` scores chunks of bare ``(left_id, right_id)``
+       pairs against that state, embarrassingly parallel across chunks.
+
+    The contract: for any chunking of the candidate list,
+    ``decide_profiled(prepare_profiles(dataset), ids)`` must equal
+    ``decide(pairs)`` on the corresponding record pairs **byte for byte**
+    (same probabilities, same verdicts) — profiles precompute record-local
+    work, they never change it.
+    """
 
     #: Decision threshold applied to the match probability.
     threshold: float = 0.5
+
+    #: Whether this matcher implements the profiled two-phase protocol.
+    profile_capable: bool = False
 
     @abstractmethod
     def predict_proba(self, pairs: Sequence[RecordPair]) -> list[float]:
@@ -88,6 +116,42 @@ class PairwiseMatcher(ABC):
         is shape-independent may override this with a fused implementation.
         """
         return [self.decide(batch) for batch in batches]
+
+    # -- profiled inference (opt-in) --------------------------------------------
+
+    def prepare_profiles(self, records: Iterable[Record]) -> Any:
+        """Phase 1 of the profiled protocol: per-record state, built once.
+
+        Runs in the parent process; the returned object is shipped to every
+        worker (for process pools: once per worker, via the pool
+        initializer) and must be picklable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support profiled inference "
+            "(profile_capable=False)"
+        )
+
+    def decide_profiled(
+        self, profiles: Any, id_pairs: Sequence[IdPair]
+    ) -> list[MatchDecision]:
+        """Phase 2: decisions for one chunk of id pairs, from profiles only."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support profiled inference "
+            "(profile_capable=False)"
+        )
+
+    def decide_profiled_batches(
+        self, profiles: Any, batches: Sequence[Sequence[IdPair]]
+    ) -> list[list[MatchDecision]]:
+        """Batched entry point of the profiled path.
+
+        One :meth:`decide_profiled` call per batch, mirroring
+        :meth:`decide_batches` — the numeric batch shape a vectorised
+        matcher sees stays exactly the chunking the engine chose, which is
+        what keeps profiled and record-pair inference bit-identical at any
+        worker count.
+        """
+        return [self.decide_profiled(profiles, batch) for batch in batches]
 
     def score_pairs(self, pairs: Sequence[RecordPair]) -> list[ScoredPair]:
         """Return scored pairs without applying the threshold."""

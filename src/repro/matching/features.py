@@ -5,6 +5,16 @@ of string / set / identifier similarities.  It powers the
 :class:`~repro.matching.logistic.LogisticRegressionMatcher`, which plays the
 role of a strong non-neural baseline and is also much faster than the
 attention model — handy for large candidate sets.
+
+Extraction is factored through per-record feature profiles
+(:mod:`repro.matching.profiles`): all record-local derivations (text
+normalisation, tokenisation, identifier canonicalisation) live in
+:func:`~repro.matching.profiles.build_profile`, and the pair features score
+two profiles.  :meth:`PairFeatureExtractor.extract` builds both profiles on
+the spot (the classic pairwise-recompute behaviour, byte for byte), while
+:meth:`PairFeatureExtractor.extract_batch_profiles` reads them from a
+prepared :class:`~repro.matching.profiles.ProfileStore` — the
+prepare-once/score-many hot path of the execution engine.
 """
 
 from __future__ import annotations
@@ -13,9 +23,14 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.datagen.identifiers import SECURITY_ID_FIELDS
-from repro.datagen.records import CompanyRecord, Record, SecurityRecord
-from repro.text.normalize import normalize_identifier, normalize_text, strip_corporate_terms
+from repro.datagen.records import Record
+from repro.matching.profiles import (
+    KIND_COMPANY,
+    KIND_SECURITY,
+    ProfileStore,
+    RecordProfile,
+    build_profile,
+)
 from repro.text.similarity import (
     jaccard_similarity,
     jaro_winkler_similarity,
@@ -23,7 +38,6 @@ from repro.text.similarity import (
     longest_common_substring_similarity,
     overlap_coefficient,
 )
-from repro.text.tokenize import word_tokenize
 
 
 class PairFeatureExtractor:
@@ -65,92 +79,153 @@ class PairFeatureExtractor:
     def num_features(self) -> int:
         return len(self.FEATURE_NAMES)
 
+    # -- profiles ---------------------------------------------------------------
+
+    def prepare(self, records) -> ProfileStore:
+        """Profile every record once (see :meth:`ProfileStore.prepare`)."""
+        return ProfileStore.prepare(records)
+
     # -- single pair -----------------------------------------------------------
 
     def extract(self, left: Record, right: Record) -> np.ndarray:
-        """Return the feature vector for one pair."""
-        left_name = self._name(left)
-        right_name = self._name(right)
-        left_name_norm = normalize_text(left_name)
-        right_name_norm = normalize_text(right_name)
-        left_tokens = left_name_norm.split()
-        right_tokens = right_name_norm.split()
-        left_stripped = strip_corporate_terms(left_name)
-        right_stripped = strip_corporate_terms(right_name)
+        """Return the feature vector for one pair (profiles built on the spot)."""
+        return np.asarray(
+            self._pair_values(build_profile(left), build_profile(right)),
+            dtype=np.float64,
+        )
 
-        left_description = self._attribute(left, "description")
-        right_description = self._attribute(right, "description")
-        description_tokens_left = word_tokenize(left_description)
-        description_tokens_right = word_tokenize(right_description)
+    def extract_profiled(self, left: RecordProfile, right: RecordProfile) -> np.ndarray:
+        """Feature vector for one pair of precomputed profiles."""
+        return np.asarray(self._pair_values(left, right), dtype=np.float64)
 
+    def extract_batch(self, pairs: Sequence[tuple[Record, Record]]) -> np.ndarray:
+        """Feature matrix (num_pairs, num_features) for a record-pair sequence.
+
+        Rows go through :meth:`extract`, so a subclass that overrides the
+        per-pair extraction changes the batched path too; the matrix is
+        preallocated and filled row by row (less allocator churn than
+        stacking per-pair arrays).
+        """
+        if not pairs:
+            return np.zeros((0, self.num_features), dtype=np.float64)
+        matrix = np.empty((len(pairs), self.num_features), dtype=np.float64)
+        for row, (left, right) in enumerate(pairs):
+            matrix[row] = self.extract(left, right)
+        return matrix
+
+    def extract_batch_profiles(
+        self, profiles: ProfileStore, id_pairs: Sequence[tuple[str, str]]
+    ) -> np.ndarray:
+        """Feature matrix for id pairs resolved against a prepared store.
+
+        The hot path of the execution engine's profiled inference: the store
+        was built once (each record profiled exactly once, however many
+        pairs it appears in) and each row here is pure pairwise scoring.
+        """
+        if not id_pairs:
+            return np.zeros((0, self.num_features), dtype=np.float64)
+        matrix = np.empty((len(id_pairs), self.num_features), dtype=np.float64)
+        for row, (left_id, right_id) in enumerate(id_pairs):
+            matrix[row] = self._pair_values(
+                profiles.get(left_id), profiles.get(right_id), store=profiles
+            )
+        return matrix
+
+    # -- scoring -------------------------------------------------------------------
+
+    def _pair_values(
+        self,
+        left: RecordProfile,
+        right: RecordProfile,
+        store: ProfileStore | None = None,
+    ) -> tuple[float, ...]:
+        """The feature tuple for one profile pair.
+
+        Rows are assigned into preallocated float64 matrices (less allocator
+        churn than stacking per-pair arrays); every value is computed by the
+        same similarity call on the same derived strings/sets as the
+        historical per-pair extraction, keeping results byte-identical.
+
+        With a ``store``, the name-similarity block is memoised per distinct
+        string pair in the store's similarity caches — records repeating a
+        name across sources then pay the quadratic string comparisons once,
+        not once per candidate pair.  Memoisation of a pure function cannot
+        change a value.
+        """
+        if store is None:
+            name_jw = jaro_winkler_similarity(left.name_norm, right.name_norm)
+            name_lev = levenshtein_similarity(left.name_norm, right.name_norm)
+            name_lcs = longest_common_substring_similarity(
+                left.name_norm, right.name_norm
+            )
+            stripped_jw = jaro_winkler_similarity(left.stripped_name, right.stripped_name)
+        else:
+            name_key = (left.name_norm, right.name_norm)
+            name_sims = store.name_similarity_cache.get(name_key)
+            if name_sims is None:
+                name_sims = (
+                    jaro_winkler_similarity(left.name_norm, right.name_norm),
+                    levenshtein_similarity(left.name_norm, right.name_norm),
+                    longest_common_substring_similarity(
+                        left.name_norm, right.name_norm
+                    ),
+                )
+                store.name_similarity_cache[name_key] = name_sims
+            name_jw, name_lev, name_lcs = name_sims
+            stripped_key = (left.stripped_name, right.stripped_name)
+            stripped_jw = store.stripped_similarity_cache.get(stripped_key)
+            if stripped_jw is None:
+                stripped_jw = jaro_winkler_similarity(*stripped_key)
+                store.stripped_similarity_cache[stripped_key] = stripped_jw
         identifier_overlaps, identifier_conflicts, isin_overlap = (
             self._identifier_features(left, right)
         )
-
-        values = (
-            jaro_winkler_similarity(left_name_norm, right_name_norm),
-            levenshtein_similarity(left_name_norm, right_name_norm),
-            jaccard_similarity(left_tokens, right_tokens),
-            overlap_coefficient(left_tokens, right_tokens),
-            longest_common_substring_similarity(left_name_norm, right_name_norm),
-            jaro_winkler_similarity(left_stripped, right_stripped),
-            jaccard_similarity(left_stripped.split(), right_stripped.split()),
-            jaccard_similarity(description_tokens_left, description_tokens_right)
-            if description_tokens_left and description_tokens_right
+        return (
+            name_jw,
+            name_lev,
+            jaccard_similarity(left.name_token_set, right.name_token_set),
+            overlap_coefficient(left.name_token_set, right.name_token_set),
+            name_lcs,
+            stripped_jw,
+            jaccard_similarity(left.stripped_token_set, right.stripped_token_set),
+            jaccard_similarity(left.description_token_set, right.description_token_set)
+            if left.description_token_set and right.description_token_set
             else 0.0,
-            1.0 if left_description and right_description else 0.0,
-            self._equality_feature(left, right, "city"),
-            self._equality_feature(left, right, "region"),
-            self._equality_feature(left, right, "country_code"),
-            self._equality_feature(left, right, "industry"),
-            self._equality_feature(left, right, "security_type"),
+            1.0 if left.has_description and right.has_description else 0.0,
+            self._equality_feature(left.city, right.city),
+            self._equality_feature(left.region, right.region),
+            self._equality_feature(left.country_code, right.country_code),
+            self._equality_feature(left.industry, right.industry),
+            self._equality_feature(left.security_type, right.security_type),
             float(identifier_overlaps),
             float(identifier_conflicts),
             isin_overlap,
-            self._equality_feature(left, right, "ticker"),
+            self._equality_feature(left.ticker, right.ticker),
             1.0 if left.source == right.source else 0.0,
         )
-        return np.asarray(values, dtype=np.float64)
-
-    def extract_batch(self, pairs: Sequence[tuple[Record, Record]]) -> np.ndarray:
-        """Feature matrix (num_pairs, num_features) for a pair sequence."""
-        if not pairs:
-            return np.zeros((0, self.num_features), dtype=np.float64)
-        return np.stack([self.extract(left, right) for left, right in pairs])
 
     # -- helpers -------------------------------------------------------------------
 
     @staticmethod
-    def _name(record: Record) -> str:
-        for attribute in ("name", "title"):
-            value = getattr(record, attribute, None)
-            if value:
-                return str(value)
-        return ""
-
-    @staticmethod
-    def _attribute(record: Record, attribute: str) -> str:
-        value = getattr(record, attribute, None)
-        return str(value) if value else ""
-
-    def _equality_feature(self, left: Record, right: Record, attribute: str) -> float:
+    def _equality_feature(left_value: str, right_value: str) -> float:
         """1 if both present and equal (normalised), 0.5 if either missing."""
-        left_value = normalize_text(self._attribute(left, attribute))
-        right_value = normalize_text(self._attribute(right, attribute))
         if not left_value or not right_value:
             return 0.5
         return 1.0 if left_value == right_value else 0.0
 
-    def _identifier_features(self, left: Record, right: Record) -> tuple[int, int, float]:
+    @staticmethod
+    def _identifier_features(
+        left: RecordProfile, right: RecordProfile
+    ) -> tuple[int, int, float]:
         """(overlap count, conflict count, company-ISIN overlap flag)."""
         overlaps = 0
         conflicts = 0
         isin_overlap = 0.0
 
-        if isinstance(left, SecurityRecord) and isinstance(right, SecurityRecord):
-            for field in SECURITY_ID_FIELDS:
-                left_value = normalize_identifier(getattr(left, field))
-                right_value = normalize_identifier(getattr(right, field))
+        if left.kind == KIND_SECURITY and right.kind == KIND_SECURITY:
+            for left_value, right_value in zip(
+                left.security_identifiers, right.security_identifiers
+            ):
                 if not left_value or not right_value:
                     continue
                 if left_value == right_value:
@@ -159,14 +234,10 @@ class PairFeatureExtractor:
                     conflicts += 1
             isin_overlap = 1.0 if overlaps else 0.0
 
-        if isinstance(left, CompanyRecord) and isinstance(right, CompanyRecord):
-            left_isins = {normalize_identifier(value) for value in left.security_isins}
-            right_isins = {normalize_identifier(value) for value in right.security_isins}
-            left_isins.discard("")
-            right_isins.discard("")
-            shared = left_isins & right_isins
+        if left.kind == KIND_COMPANY and right.kind == KIND_COMPANY:
+            shared = left.isin_set & right.isin_set
             overlaps = len(shared)
-            if left_isins and right_isins and not shared:
+            if left.isin_set and right.isin_set and not shared:
                 conflicts = 1
             isin_overlap = 1.0 if shared else 0.0
 

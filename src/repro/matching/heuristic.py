@@ -15,11 +15,12 @@ Two baselines:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.datagen.identifiers import identifier_overlap
 from repro.datagen.records import CompanyRecord, Record, SecurityRecord
-from repro.matching.base import PairwiseMatcher, RecordPair
+from repro.matching.base import IdPair, MatchDecision, PairwiseMatcher, RecordPair
+from repro.matching.profiles import ProfileStore, record_name
 from repro.text.normalize import normalize_identifier, strip_corporate_terms
 from repro.text.similarity import jaro_winkler_similarity
 
@@ -53,6 +54,10 @@ class IdOverlapMatcher(PairwiseMatcher):
 class ThresholdNameMatcher(PairwiseMatcher):
     """Match records whose names exceed a Jaro–Winkler similarity threshold."""
 
+    #: Stripped names are per-record state, so a profile store carries them —
+    #: pairs then only pay the Jaro–Winkler comparison.
+    profile_capable = True
+
     def __init__(self, similarity_threshold: float = 0.92) -> None:
         if not 0.0 <= similarity_threshold <= 1.0:
             raise ValueError("similarity_threshold must be in [0, 1]")
@@ -60,19 +65,43 @@ class ThresholdNameMatcher(PairwiseMatcher):
         self.threshold = 0.5
 
     def predict_proba(self, pairs: Sequence[RecordPair]) -> list[float]:
+        # record_name is the same lookup profiles are built from, so the
+        # profiled path below cannot drift from this one.
         probabilities = []
         for left, right in pairs:
             similarity = jaro_winkler_similarity(
-                strip_corporate_terms(self._name(left)),
-                strip_corporate_terms(self._name(right)),
+                strip_corporate_terms(record_name(left)),
+                strip_corporate_terms(record_name(right)),
             )
-            probabilities.append(1.0 if similarity >= self.similarity_threshold else similarity)
+            probabilities.append(self._probability(similarity))
         return probabilities
 
-    @staticmethod
-    def _name(record: Record) -> str:
-        for attribute in ("name", "title"):
-            value = getattr(record, attribute, None)
-            if value:
-                return str(value)
-        return ""
+    def _probability(self, similarity: float) -> float:
+        return 1.0 if similarity >= self.similarity_threshold else similarity
+
+    # -- profiled inference -------------------------------------------------------
+
+    def prepare_profiles(self, records: Iterable[Record]) -> ProfileStore:
+        return ProfileStore.prepare(records)
+
+    def decide_profiled(
+        self, profiles: ProfileStore, id_pairs: Sequence[IdPair]
+    ) -> list[MatchDecision]:
+        # RecordProfile.stripped_name is strip_corporate_terms(record_name),
+        # so this path is byte-identical to decide() on the record pairs.
+        decisions = []
+        for left_id, right_id in id_pairs:
+            similarity = jaro_winkler_similarity(
+                profiles.get(left_id).stripped_name,
+                profiles.get(right_id).stripped_name,
+            )
+            probability = self._probability(similarity)
+            decisions.append(
+                MatchDecision(
+                    left_id=left_id,
+                    right_id=right_id,
+                    probability=probability,
+                    is_match=probability >= self.threshold,
+                )
+            )
+        return decisions

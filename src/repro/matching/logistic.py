@@ -15,12 +15,14 @@ feature dimensionality is tiny, so nothing fancier is needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.matching.base import RecordPair, TrainablePairwiseMatcher
+from repro.datagen.records import Record
+from repro.matching.base import IdPair, MatchDecision, RecordPair, TrainablePairwiseMatcher
 from repro.matching.features import PairFeatureExtractor
+from repro.matching.profiles import ProfileStore
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -43,6 +45,11 @@ class LogisticTrainingHistory:
 
 class LogisticRegressionMatcher(TrainablePairwiseMatcher):
     """Binary logistic regression over pair similarity features."""
+
+    #: Features come from a :class:`PairFeatureExtractor`, which scores from
+    #: per-record profiles — so the execution engine may prepare a profile
+    #: store once and feed this matcher bare id pairs.
+    profile_capable = True
 
     def __init__(
         self,
@@ -186,8 +193,47 @@ class LogisticRegressionMatcher(TrainablePairwiseMatcher):
         if not pairs:
             return []
         features = self._scale(self.extractor.extract_batch(pairs))
-        probabilities = _sigmoid(features @ self._weights + self._bias)
+        return self._probabilities(features)
+
+    def _probabilities(self, scaled_features: np.ndarray) -> list[float]:
+        probabilities = _sigmoid(scaled_features @ self._weights + self._bias)
         return [float(p) for p in probabilities]
+
+    # -- profiled inference -------------------------------------------------------
+
+    def prepare_profiles(self, records: Iterable[Record]) -> ProfileStore:
+        """Profile every record once; pairs are then scored by id."""
+        return self.extractor.prepare(records)
+
+    def predict_proba_profiled(
+        self, profiles: ProfileStore, id_pairs: Sequence[IdPair]
+    ) -> list[float]:
+        """Match probabilities for id pairs resolved against a profile store.
+
+        Byte-identical to :meth:`predict_proba` on the corresponding record
+        pairs: the feature matrix holds the same float64 values in the same
+        shape, so scaling and the BLAS reduction see identical inputs.
+        """
+        if self._weights is None:
+            raise RuntimeError("matcher must be fitted before predicting")
+        if not id_pairs:
+            return []
+        features = self._scale(self.extractor.extract_batch_profiles(profiles, id_pairs))
+        return self._probabilities(features)
+
+    def decide_profiled(
+        self, profiles: ProfileStore, id_pairs: Sequence[IdPair]
+    ) -> list[MatchDecision]:
+        probabilities = self.predict_proba_profiled(profiles, id_pairs)
+        return [
+            MatchDecision(
+                left_id=left_id,
+                right_id=right_id,
+                probability=probability,
+                is_match=probability >= self.threshold,
+            )
+            for (left_id, right_id), probability in zip(id_pairs, probabilities)
+        ]
 
     # -- introspection -----------------------------------------------------------------
 

@@ -1,0 +1,226 @@
+"""Per-record feature profiles: precompute once, score many.
+
+Pairwise matching evaluates far more candidate *pairs* than there are
+*records* — every record appears in many pairs, yet the feature extractor
+used to re-run text normalisation, tokenisation, corporate-term stripping
+and identifier canonicalisation for both sides of every single pair.  A
+:class:`RecordProfile` factors that record-local work out: it holds every
+derived value the pair features need, computed exactly once per record, so
+scoring a pair is reduced to the genuinely pairwise comparisons (edit
+distances, set intersections, equality checks).
+
+A :class:`ProfileStore` maps record ids to profiles and mirrors the
+two-phase protocol of the sharded blocking layer: ``prepare(dataset)`` runs
+once in the parent process, the (picklable) store ships to process-pool
+workers through the pool-initializer path, and the per-chunk task payload
+shrinks to bare id pairs — record objects are no longer re-pickled per
+batch.
+
+The contract that makes this safe: scoring from profiles is **byte
+identical** to recomputing from the records, because a profile stores the
+unmodified outputs of the exact same normalisation calls the direct path
+makes.  The golden runtime suite and a hypothesis equivalence test pin
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from repro.datagen.identifiers import SECURITY_ID_FIELDS
+from repro.datagen.records import CompanyRecord, Record, SecurityRecord
+from repro.text.normalize import normalize_identifier, normalize_text, strip_corporate_terms
+from repro.text.tokenize import word_tokenize
+
+#: Record-kind discriminators stored on a profile.  Identifier features only
+#: fire for same-kind pairs, mirroring the ``isinstance`` checks of the
+#: direct extraction path.
+KIND_COMPANY = "company"
+KIND_SECURITY = "security"
+KIND_OTHER = "other"
+
+#: Auxiliary attributes compared with the 1 / 0.5 / 0 equality feature, in
+#: feature order.  Profiles store their normalised values.
+EQUALITY_ATTRIBUTES: tuple[str, ...] = (
+    "city",
+    "region",
+    "country_code",
+    "industry",
+    "security_type",
+    "ticker",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RecordProfile:
+    """Everything record-local the pair features derive from one record.
+
+    Token collections are stored both in order (tuples, for consumers that
+    care about sequence) and as frozensets (for the set-based similarity
+    measures, which then skip per-comparison ``set()`` construction).
+    Frozen + slotted keeps profiles compact, hashable and picklable.
+    """
+
+    record_id: str
+    source: str
+    kind: str
+
+    name_norm: str
+    name_tokens: tuple[str, ...]
+    name_token_set: frozenset[str]
+
+    stripped_name: str
+    stripped_tokens: tuple[str, ...]
+    stripped_token_set: frozenset[str]
+
+    has_description: bool
+    description_tokens: tuple[str, ...]
+    description_token_set: frozenset[str]
+
+    #: Normalised auxiliary attributes, in :data:`EQUALITY_ATTRIBUTES` order.
+    city: str
+    region: str
+    country_code: str
+    industry: str
+    security_type: str
+    ticker: str
+
+    #: Normalised security identifiers in ``SECURITY_ID_FIELDS`` order
+    #: (empty string where the record has none); ``()`` for non-securities.
+    security_identifiers: tuple[str, ...]
+    #: Normalised, non-empty associated-security ISINs; empty for
+    #: non-companies.
+    isin_set: frozenset[str]
+
+
+def record_name(record: Record) -> str:
+    """The record's display name ("name" for companies/securities, "title"
+    for products).
+
+    The single name lookup every consumer shares — profiles are built from
+    it and name-based matchers score with it — so a profiled path can never
+    drift from its record-pair counterpart."""
+    for attribute in ("name", "title"):
+        value = getattr(record, attribute, None)
+        if value:
+            return str(value)
+    return ""
+
+
+def _attribute_of(record: Record, attribute: str) -> str:
+    value = getattr(record, attribute, None)
+    return str(value) if value else ""
+
+
+def build_profile(record: Record) -> RecordProfile:
+    """Compute one record's feature profile.
+
+    Every stored value is the unmodified output of the same call the
+    pairwise-recompute path makes, which is what keeps profile-based
+    extraction byte-identical to direct extraction.
+    """
+    name = record_name(record)
+    name_norm = normalize_text(name)
+    name_tokens = tuple(name_norm.split())
+    stripped_name = strip_corporate_terms(name)
+    stripped_tokens = tuple(stripped_name.split())
+
+    description = _attribute_of(record, "description")
+    description_tokens = tuple(word_tokenize(description))
+
+    if isinstance(record, SecurityRecord):
+        kind = KIND_SECURITY
+        security_identifiers = tuple(
+            normalize_identifier(getattr(record, field)) for field in SECURITY_ID_FIELDS
+        )
+        isin_set: frozenset[str] = frozenset()
+    elif isinstance(record, CompanyRecord):
+        kind = KIND_COMPANY
+        security_identifiers = ()
+        isins = {normalize_identifier(value) for value in record.security_isins}
+        isins.discard("")
+        isin_set = frozenset(isins)
+    else:
+        kind = KIND_OTHER
+        security_identifiers = ()
+        isin_set = frozenset()
+
+    return RecordProfile(
+        record_id=record.record_id,
+        source=record.source,
+        kind=kind,
+        name_norm=name_norm,
+        name_tokens=name_tokens,
+        name_token_set=frozenset(name_tokens),
+        stripped_name=stripped_name,
+        stripped_tokens=stripped_tokens,
+        stripped_token_set=frozenset(stripped_tokens),
+        has_description=bool(description),
+        description_tokens=description_tokens,
+        description_token_set=frozenset(description_tokens),
+        city=normalize_text(_attribute_of(record, "city")),
+        region=normalize_text(_attribute_of(record, "region")),
+        country_code=normalize_text(_attribute_of(record, "country_code")),
+        industry=normalize_text(_attribute_of(record, "industry")),
+        security_type=normalize_text(_attribute_of(record, "security_type")),
+        ticker=normalize_text(_attribute_of(record, "ticker")),
+        security_identifiers=security_identifiers,
+        isin_set=isin_set,
+    )
+
+
+class ProfileStore:
+    """Record-id → :class:`RecordProfile` mapping, computed once per run.
+
+    The matching counterpart of the blocking layer's prepared shared state:
+    built in the parent by :meth:`prepare`, shipped to every process-pool
+    worker once (via the pool initializer), and read by id from the
+    per-chunk scoring tasks.  Stores are picklable and immutable after
+    construction.
+
+    Besides the profiles, a store carries transient *similarity caches*:
+    records repeat names across data sources, so candidate sets compare the
+    same (normalised) string pair many times — typically only ~a third of
+    name comparisons are distinct.  The caches memoise the pure
+    string-similarity results per distinct string pair for the lifetime of
+    the store (one run).  Cached values are bitwise identical to fresh
+    computation (the functions are deterministic), so hits can never change
+    a result; concurrent threads may at worst recompute a value.  The
+    caches are dropped on pickling — each process-pool worker rebuilds its
+    own as it scores.
+    """
+
+    __slots__ = ("_profiles", "name_similarity_cache", "stripped_similarity_cache")
+
+    def __init__(self, profiles: Mapping[str, RecordProfile]) -> None:
+        self._profiles = dict(profiles)
+        #: (name_norm, name_norm) → (jaro_winkler, levenshtein, lcs) triples.
+        self.name_similarity_cache: dict[tuple[str, str], tuple[float, float, float]] = {}
+        #: (stripped_name, stripped_name) → jaro_winkler.
+        self.stripped_similarity_cache: dict[tuple[str, str], float] = {}
+
+    def __getstate__(self) -> dict[str, RecordProfile]:
+        # Ship only the profiles; workers warm their own caches.
+        return self._profiles
+
+    def __setstate__(self, profiles: dict[str, RecordProfile]) -> None:
+        self.__init__(profiles)
+
+    @classmethod
+    def prepare(cls, records: Iterable[Record]) -> "ProfileStore":
+        """Profile every record once.  Accepts any record iterable — a
+        :class:`~repro.datagen.records.Dataset` iterates its records."""
+        return cls({record.record_id: build_profile(record) for record in records})
+
+    def get(self, record_id: str) -> RecordProfile:
+        return self._profiles[record_id]
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProfileStore(records={len(self._profiles)})"

@@ -10,7 +10,11 @@ and pairwise inference) into chunks and fans them out over a
   keep all workers busy and the per-chunk timings informative,
 * ``blocking_shards`` splits candidate generation itself into record chunks
   (shared index built once, per-chunk scoring fanned out), so a single
-  blocking scales beyond one core.
+  blocking scales beyond one core,
+* ``profile_cache`` lets profile-capable matchers score pairwise inference
+  from per-record feature profiles prepared once per run (and shipped to
+  workers once), instead of re-deriving record-local state for both sides
+  of every pair.
 """
 
 from __future__ import annotations
@@ -45,6 +49,14 @@ class RuntimeConfig:
     #: per-chunk results merge in record order, so the candidates are
     #: byte-identical to the serial run.
     blocking_shards: int = 1
+    #: Score pairwise inference from per-record feature profiles when the
+    #: matcher supports them (``profile_capable``): the profile store is
+    #: prepared once in the parent, shipped to process-pool workers via the
+    #: initializer path, and chunk tasks carry bare id pairs instead of
+    #: pickled record objects.  Output is byte-identical either way — this
+    #: knob trades memory for speed, never results.  Matchers without
+    #: profile support fall back to the record-pair path automatically.
+    profile_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -60,6 +72,10 @@ class RuntimeConfig:
         if self.blocking_shards < 1:
             raise ValueError(
                 f"blocking_shards must be a positive integer, got {self.blocking_shards}"
+            )
+        if not isinstance(self.profile_cache, bool):
+            raise ValueError(
+                f"profile_cache must be a boolean, got {self.profile_cache!r}"
             )
 
     @property

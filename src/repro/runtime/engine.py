@@ -19,7 +19,13 @@ data-parallel stages here:
   pairs; every chunk goes through the matcher's batched
   :meth:`~repro.matching.base.PairwiseMatcher.decide_batches` entry point,
   one call per chunk — in-process under the serial engine, one pool task
-  per chunk under the parallel engine.
+  per chunk under the parallel engine.  When the matcher is profile-capable
+  and ``profile_cache`` is on (the default), the matcher's
+  :meth:`~repro.matching.base.PairwiseMatcher.prepare_profiles` runs once
+  here in the parent, the store rides to each worker through the pool
+  initializer, and the per-chunk payload shrinks to bare id pairs — record
+  objects are no longer re-pickled per batch, and record-local feature
+  derivations happen once per record instead of once per pair side.
 
 Determinism guarantee: chunk results are merged in submission order, every
 matcher decision depends only on its own record pair, and the chunking — the
@@ -55,6 +61,25 @@ def _decide_chunk(
     behaves identically under both engines.
     """
     return matcher.decide_batches([pairs])[0]
+
+
+@dataclass(frozen=True)
+class _MatchingPlan:
+    """Per-run shared state of the profiled inference path.
+
+    The matcher and its prepared profile store ride to each process-pool
+    worker once via the initializer, so chunk tasks only carry id pairs.
+    """
+
+    matcher: PairwiseMatcher
+    profiles: Any
+
+
+def _decide_profiled_chunk(
+    plan: _MatchingPlan, id_pairs: list[tuple[str, str]]
+) -> list[MatchDecision]:
+    """Worker task: one profiled inference chunk (module-level, picklable)."""
+    return plan.matcher.decide_profiled_batches(plan.profiles, [id_pairs])[0]
 
 
 @dataclass(frozen=True)
@@ -168,28 +193,65 @@ class PipelineRuntime:
         candidates: Sequence[CandidatePair],
         profiler: StageProfiler | None = None,
     ) -> list[MatchDecision]:
-        """Predict Match / NoMatch for every candidate, in candidate order."""
+        """Predict Match / NoMatch for every candidate, in candidate order.
+
+        Either way the scheduler runs one matcher call per ``batch_size``
+        chunk (in-process when serial, pooled when parallel), so the matcher
+        entry point, the call granularity and the numeric batch shapes are
+        identical at any worker count — which is what keeps serial and
+        parallel decisions bit-identical — and every run gets per-chunk
+        timings.  The two routes differ only in what rides where:
+
+        * **profiled** (``profile_cache`` on, matcher ``profile_capable``) —
+          the matcher prepares its per-record profiles once, matcher + store
+          ship to each worker via the initializer, chunk payloads are bare
+          id pairs;
+        * **record pairs** (fallback) — chunk payloads are the record
+          objects themselves, resolved here in the parent.
+        """
+        if not candidates:
+            return []
         batches = chunked(candidates, self.config.batch_size)
-        pair_batches: list[list[RecordPair]] = [
-            [
-                (dataset.record(candidate.left_id), dataset.record(candidate.right_id))
-                for candidate in batch
+        if self.config.profile_cache and matcher.profile_capable:
+            # Profile only the records the candidates reference: on a sparse
+            # candidate set (narrow blocking over a huge dataset) profiling
+            # the whole dataset would cost more than the cache saves.
+            referenced: dict[str, None] = {}
+            for candidate in candidates:
+                referenced.setdefault(candidate.left_id)
+                referenced.setdefault(candidate.right_id)
+            plan = _MatchingPlan(
+                matcher=matcher,
+                profiles=matcher.prepare_profiles(
+                    dataset.record(record_id) for record_id in referenced
+                ),
+            )
+            id_batches: list[list[tuple[str, str]]] = [
+                [(candidate.left_id, candidate.right_id) for candidate in batch]
+                for batch in batches
             ]
-            for batch in batches
-        ]
-        # One path for both engines: the scheduler runs _decide_chunk per
-        # batch (in-process when serial, pooled when parallel), so the
-        # matcher entry point, the call granularity and the numeric batch
-        # shapes are identical at any worker count — which is what keeps
-        # serial and parallel decisions bit-identical — and every run gets
-        # per-chunk timings.
-        decided = self.scheduler.map_chunks(
-            _decide_chunk,
-            pair_batches,
-            stage="pairwise_matching",
-            profiler=profiler,
-            shared=matcher,
-        )
+            decided = self.scheduler.map_chunks(
+                _decide_profiled_chunk,
+                id_batches,
+                stage="pairwise_matching",
+                profiler=profiler,
+                shared=plan,
+            )
+        else:
+            pair_batches: list[list[RecordPair]] = [
+                [
+                    (dataset.record(candidate.left_id), dataset.record(candidate.right_id))
+                    for candidate in batch
+                ]
+                for batch in batches
+            ]
+            decided = self.scheduler.map_chunks(
+                _decide_chunk,
+                pair_batches,
+                stage="pairwise_matching",
+                profiler=profiler,
+                shared=matcher,
+            )
         decisions: list[MatchDecision] = []
         for batch in decided:
             decisions.extend(batch)

@@ -150,6 +150,7 @@ class RuntimeSpec:
     batch_size: int = 2048
     executor: str = "process"
     blocking_shards: int = 1
+    profile_cache: bool = True
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {}
@@ -161,13 +162,17 @@ class RuntimeSpec:
             data["executor"] = self.executor
         if self.blocking_shards != 1:
             data["blocking_shards"] = self.blocking_shards
+        if not self.profile_cache:
+            data["profile_cache"] = False
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], key: str) -> "RuntimeSpec":
         table = _expect_table(data, key)
         _reject_unknown_keys(
-            table, {"workers", "batch_size", "executor", "blocking_shards"}, key
+            table,
+            {"workers", "batch_size", "executor", "blocking_shards", "profile_cache"},
+            key,
         )
         executor = _expect_str(table.get("executor", "process"), f"{key}.executor")
         from repro.runtime import EXECUTOR_KINDS
@@ -183,6 +188,9 @@ class RuntimeSpec:
             blocking_shards=_expect_int(
                 table.get("blocking_shards", 1), f"{key}.blocking_shards", minimum=1
             ),
+            profile_cache=_expect_bool(
+                table.get("profile_cache", True), f"{key}.profile_cache"
+            ),
         )
 
     def to_runtime_config(self):
@@ -193,6 +201,7 @@ class RuntimeSpec:
             batch_size=self.batch_size,
             executor=self.executor,
             blocking_shards=self.blocking_shards,
+            profile_cache=self.profile_cache,
         )
 
 
@@ -355,6 +364,12 @@ def _expect_table(value: Any, key: str) -> Mapping[str, Any]:
 def _expect_str(value: Any, key: str) -> str:
     if not isinstance(value, str) or not value:
         raise SpecValidationError(key, f"expected a non-empty string, got {value!r}")
+    return value
+
+
+def _expect_bool(value: Any, key: str) -> bool:
+    if not isinstance(value, bool):
+        raise SpecValidationError(key, f"expected a boolean, got {value!r}")
     return value
 
 

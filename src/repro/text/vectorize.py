@@ -25,6 +25,32 @@ from repro.text.tokenize import word_tokenize
 SparseVector = dict[int, float]
 
 
+class NormedSparseVector(dict):
+    """A sparse vector that remembers its own Euclidean norm.
+
+    Behaves exactly like the plain ``{index: weight}`` dictionary everywhere
+    (it *is* one), but :func:`sparse_norm` — and therefore
+    :func:`sparse_cosine` — reads the cached norm instead of re-reducing the
+    weights on every comparison.  The cache is filled lazily with the exact
+    same ``sqrt(sum(w*w))`` reduction over the same iteration order, so the
+    cached value is bitwise identical to a fresh computation.  Vectors are
+    treated as immutable once handed out (the vectorisers never mutate
+    them); mutate a copy if you need to edit one.
+    """
+
+    __slots__ = ("_norm",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._norm: float | None = None
+
+    @property
+    def norm(self) -> float:
+        if self._norm is None:
+            self._norm = math.sqrt(sum(weight * weight for weight in self.values()))
+        return self._norm
+
+
 def sparse_dot(a: SparseVector, b: SparseVector) -> float:
     """Dot product of two sparse vectors."""
     if len(a) > len(b):
@@ -33,7 +59,9 @@ def sparse_dot(a: SparseVector, b: SparseVector) -> float:
 
 
 def sparse_norm(a: SparseVector) -> float:
-    """Euclidean norm of a sparse vector."""
+    """Euclidean norm of a sparse vector (cached for normed vectors)."""
+    if isinstance(a, NormedSparseVector):
+        return a.norm
     return math.sqrt(sum(weight * weight for weight in a.values()))
 
 
@@ -105,7 +133,9 @@ class TfidfVectorizer:
         norm = sparse_norm(vector)
         if norm > 0:
             vector = {idx: weight / norm for idx, weight in vector.items()}
-        return vector
+        # Normed so repeated sparse_cosine comparisons stop re-reducing both
+        # sides' weights (the norm is computed once, lazily, per vector).
+        return NormedSparseVector(vector)
 
     def transform(self, texts: Iterable[str]) -> list[SparseVector]:
         return [self.transform_one(text) for text in texts]
@@ -149,7 +179,7 @@ class HashingVectorizer:
         norm = sparse_norm(vector)
         if norm > 0:
             vector = {idx: weight / norm for idx, weight in vector.items()}
-        return vector
+        return NormedSparseVector(vector)
 
     def transform(self, texts: Iterable[str]) -> list[SparseVector]:
         return [self.transform_one(text) for text in texts]

@@ -1,0 +1,337 @@
+"""Per-record feature profiles: equivalence with direct pairwise extraction.
+
+The profile subsystem's contract is that scoring a pair from two
+:class:`~repro.matching.profiles.RecordProfile` objects is **byte identical**
+to re-deriving everything from the records, for every record shape the
+extractor supports.  The reference implementation below is the historical
+pairwise-recompute extractor, kept verbatim as the oracle; hypothesis
+drives randomised company / security / product records (including missing
+attributes, token-less names and mixed-kind pairs) against it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.identifiers import SECURITY_ID_FIELDS
+from repro.datagen.records import CompanyRecord, ProductRecord, Record, SecurityRecord
+from repro.matching.features import PairFeatureExtractor
+from repro.matching.profiles import (
+    KIND_COMPANY,
+    KIND_OTHER,
+    KIND_SECURITY,
+    ProfileStore,
+    build_profile,
+)
+from repro.text.normalize import normalize_identifier, normalize_text, strip_corporate_terms
+from repro.text.similarity import (
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    longest_common_substring_similarity,
+    overlap_coefficient,
+)
+from repro.text.tokenize import word_tokenize
+
+
+# -- the oracle: the historical pairwise-recompute extractor -----------------
+
+
+def _name(record: Record) -> str:
+    for attribute in ("name", "title"):
+        value = getattr(record, attribute, None)
+        if value:
+            return str(value)
+    return ""
+
+
+def _attribute(record: Record, attribute: str) -> str:
+    value = getattr(record, attribute, None)
+    return str(value) if value else ""
+
+
+def _equality_feature(left: Record, right: Record, attribute: str) -> float:
+    left_value = normalize_text(_attribute(left, attribute))
+    right_value = normalize_text(_attribute(right, attribute))
+    if not left_value or not right_value:
+        return 0.5
+    return 1.0 if left_value == right_value else 0.0
+
+
+def _identifier_features(left: Record, right: Record) -> tuple[int, int, float]:
+    overlaps = 0
+    conflicts = 0
+    isin_overlap = 0.0
+    if isinstance(left, SecurityRecord) and isinstance(right, SecurityRecord):
+        for field in SECURITY_ID_FIELDS:
+            left_value = normalize_identifier(getattr(left, field))
+            right_value = normalize_identifier(getattr(right, field))
+            if not left_value or not right_value:
+                continue
+            if left_value == right_value:
+                overlaps += 1
+            else:
+                conflicts += 1
+        isin_overlap = 1.0 if overlaps else 0.0
+    if isinstance(left, CompanyRecord) and isinstance(right, CompanyRecord):
+        left_isins = {normalize_identifier(value) for value in left.security_isins}
+        right_isins = {normalize_identifier(value) for value in right.security_isins}
+        left_isins.discard("")
+        right_isins.discard("")
+        shared = left_isins & right_isins
+        overlaps = len(shared)
+        if left_isins and right_isins and not shared:
+            conflicts = 1
+        isin_overlap = 1.0 if shared else 0.0
+    return overlaps, conflicts, isin_overlap
+
+
+def reference_extract(left: Record, right: Record) -> np.ndarray:
+    """The pre-profile extractor, re-deriving everything per pair."""
+    left_name_norm = normalize_text(_name(left))
+    right_name_norm = normalize_text(_name(right))
+    left_tokens = left_name_norm.split()
+    right_tokens = right_name_norm.split()
+    left_stripped = strip_corporate_terms(_name(left))
+    right_stripped = strip_corporate_terms(_name(right))
+    left_description = _attribute(left, "description")
+    right_description = _attribute(right, "description")
+    description_tokens_left = word_tokenize(left_description)
+    description_tokens_right = word_tokenize(right_description)
+    identifier_overlaps, identifier_conflicts, isin_overlap = _identifier_features(
+        left, right
+    )
+    values = (
+        jaro_winkler_similarity(left_name_norm, right_name_norm),
+        levenshtein_similarity(left_name_norm, right_name_norm),
+        jaccard_similarity(left_tokens, right_tokens),
+        overlap_coefficient(left_tokens, right_tokens),
+        longest_common_substring_similarity(left_name_norm, right_name_norm),
+        jaro_winkler_similarity(left_stripped, right_stripped),
+        jaccard_similarity(left_stripped.split(), right_stripped.split()),
+        jaccard_similarity(description_tokens_left, description_tokens_right)
+        if description_tokens_left and description_tokens_right
+        else 0.0,
+        1.0 if left_description and right_description else 0.0,
+        _equality_feature(left, right, "city"),
+        _equality_feature(left, right, "region"),
+        _equality_feature(left, right, "country_code"),
+        _equality_feature(left, right, "industry"),
+        _equality_feature(left, right, "security_type"),
+        float(identifier_overlaps),
+        float(identifier_conflicts),
+        isin_overlap,
+        _equality_feature(left, right, "ticker"),
+        1.0 if left.source == right.source else 0.0,
+    )
+    return np.asarray(values, dtype=np.float64)
+
+
+# -- record strategies --------------------------------------------------------
+
+# Deliberately nasty text: unicode accents, punctuation-only names that
+# normalise to "", corporate-term-only names, whitespace runs.
+text_value = st.text(
+    alphabet="abcXYZ üé.&-!'  corpinc",
+    max_size=24,
+)
+optional_text = st.one_of(st.none(), st.just(""), text_value)
+identifier_value = st.one_of(
+    st.none(), st.just(""), st.sampled_from(["US0378331005", "ch-0038863350", "a b1"])
+)
+
+_counter = iter(range(10**9))
+
+
+def _next_id() -> str:
+    return f"r{next(_counter)}"
+
+
+company_records = st.builds(
+    lambda source, name, city, region, country, description, industry, isins: CompanyRecord(
+        record_id=_next_id(),
+        source=source,
+        entity_id="e",
+        name=name,
+        city=city,
+        region=region,
+        country_code=country,
+        description=description,
+        industry=industry,
+        security_isins=tuple(isins),
+    ),
+    st.sampled_from(["S1", "S2"]),
+    text_value,
+    optional_text,
+    optional_text,
+    optional_text,
+    optional_text,
+    optional_text,
+    st.lists(identifier_value.filter(lambda v: v is not None), max_size=3),
+)
+
+security_records = st.builds(
+    lambda source, name, sec_type, isin, cusip, sedol, valor, ticker: SecurityRecord(
+        record_id=_next_id(),
+        source=source,
+        entity_id="e",
+        name=name,
+        security_type=sec_type or "",
+        isin=isin,
+        cusip=cusip,
+        sedol=sedol,
+        valor=valor,
+        ticker=ticker,
+    ),
+    st.sampled_from(["S1", "S2"]),
+    text_value,
+    optional_text,
+    identifier_value,
+    identifier_value,
+    identifier_value,
+    identifier_value,
+    optional_text,
+)
+
+product_records = st.builds(
+    lambda source, title, brand, description: ProductRecord(
+        record_id=_next_id(),
+        source=source,
+        entity_id="e",
+        title=title,
+        brand=brand,
+        description=description,
+    ),
+    st.sampled_from(["S1", "S2"]),
+    text_value,
+    optional_text,
+    optional_text,
+)
+
+any_record = st.one_of(company_records, security_records, product_records)
+
+
+# -- the equivalence property -------------------------------------------------
+
+
+class TestProfileEquivalence:
+    extractor = PairFeatureExtractor()
+
+    @given(any_record, any_record)
+    @settings(max_examples=300, deadline=None)
+    def test_profiled_extraction_equals_reference(self, left, right):
+        expected = reference_extract(left, right)
+        via_extract = self.extractor.extract(left, right)
+        via_profiles = self.extractor.extract_profiled(
+            build_profile(left), build_profile(right)
+        )
+        store = ProfileStore.prepare([left, right])
+        via_store = self.extractor.extract_batch_profiles(
+            store, [(left.record_id, right.record_id)]
+        )[0]
+        # Bitwise equality, not approx: profiles precompute, they never
+        # change a single float.
+        assert np.array_equal(expected, via_extract)
+        assert np.array_equal(expected, via_profiles)
+        assert np.array_equal(expected, via_store)
+
+    @given(st.lists(st.tuples(any_record, any_record), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_extract_batch_equals_per_pair_reference(self, pairs):
+        batch = self.extractor.extract_batch(pairs)
+        assert batch.shape == (len(pairs), self.extractor.num_features)
+        assert batch.dtype == np.float64
+        for row, (left, right) in zip(batch, pairs):
+            assert np.array_equal(row, reference_extract(left, right))
+
+
+class TestProfileEdgeCases:
+    extractor = PairFeatureExtractor()
+
+    def test_token_less_name_profiles_cleanly(self):
+        record = CompanyRecord(record_id="a", source="S1", entity_id="e", name="!!! ...")
+        profile = build_profile(record)
+        assert profile.name_norm == ""
+        assert profile.name_tokens == ()
+        assert profile.stripped_name == ""
+        assert profile.name_token_set == frozenset()
+
+    def test_corporate_terms_only_name_keeps_normalised_form(self):
+        record = CompanyRecord(record_id="a", source="S1", entity_id="e", name="Holdings Inc")
+        profile = build_profile(record)
+        # strip_corporate_terms falls back to the full normalised name.
+        assert profile.stripped_name == "holdings inc"
+
+    def test_kinds(self):
+        company = CompanyRecord(record_id="c", source="S1", entity_id="e", name="Acme")
+        security = SecurityRecord(record_id="s", source="S1", entity_id="e", name="Acme stock")
+        product = ProductRecord(record_id="p", source="S1", entity_id="e", title="Acme gadget")
+        assert build_profile(company).kind == KIND_COMPANY
+        assert build_profile(security).kind == KIND_SECURITY
+        assert build_profile(product).kind == KIND_OTHER
+
+    def test_mixed_kind_pair_has_neutral_identifier_features(self):
+        company = CompanyRecord(
+            record_id="c", source="S1", entity_id="e", name="Acme",
+            security_isins=("US0378331005",),
+        )
+        security = SecurityRecord(
+            record_id="s", source="S2", entity_id="e", name="Acme stock",
+            isin="US0378331005",
+        )
+        vector = self.extractor.extract(company, security)
+        names = self.extractor.feature_names()
+        assert vector[names.index("identifier_overlap_count")] == 0.0
+        assert vector[names.index("identifier_conflict_count")] == 0.0
+        assert vector[names.index("isin_overlap")] == 0.0
+        assert np.array_equal(vector, reference_extract(company, security))
+
+    def test_security_identifiers_follow_field_order(self):
+        record = SecurityRecord(
+            record_id="s", source="S1", entity_id="e", name="Acme stock",
+            isin="us-037", cusip=None, sedol="b1 23", valor="",
+        )
+        profile = build_profile(record)
+        expected = tuple(
+            normalize_identifier(getattr(record, field)) for field in SECURITY_ID_FIELDS
+        )
+        assert profile.security_identifiers == expected
+
+    def test_product_records_use_title(self):
+        record = ProductRecord(record_id="p", source="S1", entity_id="e",
+                               title="Wireless Mouse 2000")
+        profile = build_profile(record)
+        assert profile.name_norm == "wireless mouse 2000"
+
+
+class TestProfileStore:
+    def test_prepare_profiles_every_record_once(self):
+        records = [
+            CompanyRecord(record_id=f"r{i}", source="S1", entity_id="e", name=f"Acme {i}")
+            for i in range(5)
+        ]
+        store = ProfileStore.prepare(records)
+        assert len(store) == 5
+        assert all(record.record_id in store for record in records)
+        assert store.get("r3").name_norm == "acme 3"
+
+    def test_missing_record_raises(self):
+        store = ProfileStore.prepare([])
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_store_is_picklable(self):
+        import pickle
+
+        records = [
+            SecurityRecord(record_id="s1", source="S1", entity_id="e",
+                           name="Acme stock", isin="US0378331005"),
+            CompanyRecord(record_id="c1", source="S2", entity_id="e",
+                          name="Acme Corp", security_isins=("US0378331005",)),
+        ]
+        store = ProfileStore.prepare(records)
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(clone) == len(store)
+        assert clone.get("s1") == store.get("s1")
+        assert clone.get("c1") == store.get("c1")

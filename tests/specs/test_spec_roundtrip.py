@@ -36,7 +36,7 @@ def full_pipeline_spec() -> PipelineSpec:
         cleanup=CleanupSpec(strategy="gralmatch", gamma=20, mu=4),
         pre_cleanup=PreCleanupSpec(enabled=True, max_component_size=30),
         runtime=RuntimeSpec(workers=2, batch_size=64, executor="thread",
-                            blocking_shards=3),
+                            blocking_shards=3, profile_cache=False),
     )
 
 
@@ -113,6 +113,8 @@ class TestValidationErrorsNameTheKey:
             ("[pipeline.runtime]\nworkers = -1\n", "pipeline.runtime.workers"),
             ("[pipeline.runtime]\nblocking_shards = 0\n", "pipeline.runtime.blocking_shards"),
             ('[pipeline.runtime]\nblocking_shards = "all"\n', "pipeline.runtime.blocking_shards"),
+            ('[pipeline.runtime]\nprofile_cache = "yes"\n', "pipeline.runtime.profile_cache"),
+            ("[pipeline.runtime]\nprofile_cache = 1\n", "pipeline.runtime.profile_cache"),
         ],
     )
     def test_offending_key_is_named(self, document, key):
@@ -155,7 +157,7 @@ class TestBuildPipelineEquivalence:
             cleanup_config=CleanupConfig(gamma=20, mu=4),
             pre_cleanup_config=PreCleanupConfig(enabled=True, max_component_size=30),
             runtime=RuntimeConfig(workers=2, batch_size=64, executor="thread",
-                                  blocking_shards=3),
+                                  blocking_shards=3, profile_cache=False),
         )
         spec = full_pipeline_spec()
         text = getattr(spec, f"to_{fmt}")()

@@ -142,3 +142,82 @@ class TestLongestCommonSubstring:
     @settings(max_examples=60, deadline=None)
     def test_bounded_by_shorter_string(self, a, b):
         assert longest_common_substring(a, b) <= min(len(a), len(b))
+
+
+def _reference_levenshtein(a: str, b: str) -> int:
+    """The plain full-matrix DP, kept as the equivalence oracle for the
+    prefix/suffix-trimmed production implementation."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+class TestLevenshteinTrimEquivalence:
+    """The trimmed implementation must equal the unoptimised reference."""
+
+    @given(short_text, short_text)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference(self, a, b):
+        assert levenshtein_distance(a, b) == _reference_levenshtein(a, b)
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference_with_shared_affixes(self, prefix, core, suffix):
+        # Stress the trimming paths: identical prefix and suffix, differing core.
+        a = prefix + core + suffix
+        b = prefix + core[::-1] + suffix
+        assert levenshtein_distance(a, b) == _reference_levenshtein(a, b)
+
+    @pytest.mark.parametrize("a,b", [
+        ("microsoft corp", "microsoft corporation"),
+        ("acme", "acme"),
+        ("", ""),
+        ("", "abc"),
+        ("abc", ""),
+        ("aaa", "aa"),
+        ("abcdef", "abXdef"),
+        ("xabc", "abc"),
+        ("abcx", "abc"),
+        ("ab", "ba"),
+    ])
+    def test_known_cases_match_reference(self, a, b):
+        assert levenshtein_distance(a, b) == _reference_levenshtein(a, b)
+
+    @given(short_text, short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_similarity_shortcut_matches_formula(self, a, b):
+        expected = (
+            1.0
+            if not a and not b
+            else 1.0 - _reference_levenshtein(a, b) / max(len(a), len(b))
+        )
+        assert levenshtein_similarity(a, b) == expected
+
+
+class TestSimilarityFastPaths:
+    """The a == b / set-input fast paths must not change any value."""
+
+    @given(short_text)
+    @settings(max_examples=60, deadline=None)
+    def test_lcs_similarity_identical_strings(self, a):
+        expected = 1.0 if not a else longest_common_substring(a, a) / len(a)
+        assert longest_common_substring_similarity(a, a) == expected == 1.0
+
+    @given(st.lists(st.text(alphabet="abc", max_size=3), max_size=6),
+           st.lists(st.text(alphabet="abc", max_size=3), max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_set_inputs_equal_list_inputs(self, a, b):
+        for measure in (jaccard_similarity, dice_coefficient, overlap_coefficient):
+            assert measure(frozenset(a), frozenset(b)) == measure(a, b)
+            assert measure(set(a), set(b)) == measure(a, b)

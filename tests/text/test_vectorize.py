@@ -1,5 +1,7 @@
 """Tests for TF-IDF and hashing vectorisers."""
 
+import math
+
 import pytest
 
 from repro.text import HashingVectorizer, TfidfVectorizer
@@ -100,3 +102,50 @@ class TestHashingVectorizer:
 
     def test_empty_text(self):
         assert HashingVectorizer().transform_one("") == {}
+
+
+class TestNormCaching:
+    corpus = [
+        "crowdstrike holdings cybersecurity platform",
+        "crowdstreet real estate investment platform",
+        "acme energy resources",
+    ]
+
+    def test_tfidf_vectors_carry_cached_norm(self):
+        from repro.text.vectorize import NormedSparseVector
+
+        vec = TfidfVectorizer().fit(self.corpus).transform_one(self.corpus[0])
+        assert isinstance(vec, NormedSparseVector)
+        # The cached norm is bitwise identical to a fresh reduction over the
+        # same weights, so sparse_cosine results cannot drift.
+        fresh = math.sqrt(sum(w * w for w in vec.values()))
+        assert sparse_norm(vec) == fresh
+        assert vec.norm == fresh
+
+    def test_hashing_vectors_carry_cached_norm(self):
+        from repro.text.vectorize import NormedSparseVector
+
+        vec = HashingVectorizer(num_features=64).transform_one("acme energy resources")
+        assert isinstance(vec, NormedSparseVector)
+        assert sparse_norm(vec) == math.sqrt(sum(w * w for w in vec.values()))
+
+    def test_cosine_uses_cache_not_recompute(self, monkeypatch):
+        import repro.text.vectorize as vectorize_module
+
+        vectorizer = TfidfVectorizer().fit(self.corpus)
+        a = vectorizer.transform_one(self.corpus[0])
+        b = vectorizer.transform_one(self.corpus[1])
+        baseline = sparse_cosine(a, b)
+        a.norm  # noqa: B018 - populate both caches
+        b.norm  # noqa: B018
+
+        def exploding_sqrt(value):
+            raise AssertionError("sparse_cosine re-reduced a cached vector")
+
+        monkeypatch.setattr(vectorize_module.math, "sqrt", exploding_sqrt)
+        assert sparse_cosine(a, b) == baseline
+
+    def test_normed_vector_still_a_plain_dict(self):
+        vec = TfidfVectorizer().fit(self.corpus).transform_one(self.corpus[0])
+        assert dict(vec) == {key: vec[key] for key in vec}
+        assert vec == dict(vec)
