@@ -1,0 +1,217 @@
+"""Incremental ingestion: delta cost vs. full re-run, with equivalence.
+
+For a synthetic companies corpus, measures what it costs to absorb the last
+``delta`` records into a warm persistent match state versus re-running the
+whole batch pipeline from scratch, across delta sizes × worker counts.
+Before any timing counts, every configuration asserts **batch equivalence
+bitwise**: the post-ingest candidates, decisions (probabilities compared
+exactly) and final groups must equal the one-shot pipeline run over the
+full corpus.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_incremental.py           # full numbers
+
+Full runs assert that small-delta ingestion beats the full re-run and write
+``benchmarks/results/BENCH_incremental.json``.  Quick runs skip the
+wall-clock assertion (CI boxes are too noisy to gate on ratios) and write
+``BENCH_incremental_quick.json`` so the committed full-run reference
+numbers are never overwritten by a smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.blocking import CombinedBlocking, IdOverlapBlocking, TokenOverlapBlocking
+from repro.cli import positive_int
+from repro.core.cleanup import CleanupConfig
+from repro.core.pipeline import EntityGroupMatchingPipeline
+from repro.core.precleanup import PreCleanupConfig
+from repro.datagen import GenerationConfig, generate_benchmark
+from repro.datagen.records import Dataset
+from repro.evaluation import format_table
+from repro.incremental import IncrementalMatcher
+from repro.matching import LogisticRegressionMatcher
+from repro.matching.pairs import as_record_pairs, build_labeled_pairs
+from repro.runtime import RuntimeConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def build_dataset(entities: int, seed: int) -> Dataset:
+    return generate_benchmark(
+        GenerationConfig(num_entities=entities, num_sources=4, seed=seed,
+                         acquisition_rate=0.05, merger_rate=0.05)
+    ).companies
+
+
+def train_matcher(dataset: Dataset) -> LogisticRegressionMatcher:
+    pairs = build_labeled_pairs(dataset, negative_ratio=3, seed=0)
+    record_pairs, labels = as_record_pairs(pairs)
+    return LogisticRegressionMatcher(num_iterations=120).fit(record_pairs, labels)
+
+
+def make_pipeline(matcher, runtime: RuntimeConfig | None) -> EntityGroupMatchingPipeline:
+    return EntityGroupMatchingPipeline(
+        matcher=matcher,
+        blocking=CombinedBlocking([IdOverlapBlocking(), TokenOverlapBlocking(top_n=3)]),
+        cleanup_config=CleanupConfig.for_num_sources(4),
+        pre_cleanup_config=PreCleanupConfig(max_component_size=30),
+        runtime=runtime,
+    )
+
+
+def time_full_run(matcher, dataset: Dataset, runtime: RuntimeConfig | None,
+                  repeats: int):
+    """Best-of wall clock (and result) of the one-shot batch pipeline."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        pipeline = make_pipeline(matcher, runtime)
+        start = time.perf_counter()
+        result = pipeline.run(dataset)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def warm_state(matcher, prefix, runtime: RuntimeConfig | None) -> bytes:
+    """Ingest the prefix once and freeze the state for repeatable deltas."""
+    incremental = IncrementalMatcher.from_pipeline(
+        make_pipeline(matcher, runtime), name="bench"
+    )
+    incremental.ingest(prefix)
+    return pickle.dumps(incremental.state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def time_delta_ingest(frozen_state: bytes, delta, runtime: RuntimeConfig | None,
+                      repeats: int):
+    """Best-of wall clock of ingesting ``delta`` into the warm state.
+
+    Each repeat thaws a fresh copy of the warm state (outside the timed
+    region), so repeated ingests never see their own side effects.
+    """
+    best, matcher, report = float("inf"), None, None
+    for _ in range(repeats):
+        state = pickle.loads(frozen_state)
+        matcher = IncrementalMatcher(state, runtime=runtime)
+        start = time.perf_counter()
+        report = matcher.ingest(delta)
+        best = min(best, time.perf_counter() - start)
+    return best, matcher, report
+
+
+def assert_batch_equivalent(incremental: IncrementalMatcher, batch_result) -> None:
+    assert incremental.candidates() == batch_result.candidates, "candidates drifted"
+    decisions = incremental.decisions()
+    assert decisions == batch_result.decisions, "decisions drifted"
+    assert [d.probability for d in decisions] == [
+        d.probability for d in batch_result.decisions
+    ], "probabilities drifted"
+    assert incremental.groups.groups == batch_result.groups.groups, "groups drifted"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--entities", type=positive_int, default=300,
+                        help="company record groups in the synthetic corpus")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--workers", default="1,2",
+                        help="comma-separated worker counts")
+    parser.add_argument("--deltas", default="0.02,0.1,0.25",
+                        help="comma-separated delta sizes as corpus fractions")
+    parser.add_argument("--batch-size", type=positive_int, default=1024)
+    parser.add_argument("--repeats", type=positive_int, default=3,
+                        help="best-of repeats per point")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workload, single repeat, no wall-clock "
+                             "assertion (the CI smoke run)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.entities, args.repeats, args.workers = 60, 1, "1"
+
+    worker_counts = [int(w) for w in args.workers.split(",")]
+    delta_fractions = [float(d) for d in args.deltas.split(",")]
+    dataset = build_dataset(args.entities, args.seed)
+    matcher = train_matcher(dataset)
+    records = dataset.records
+    print(f"workload: {len(records)} records, deltas {delta_fractions}, "
+          f"workers {worker_counts}, {os.cpu_count()} cpu core(s)")
+
+    rows: list[dict[str, object]] = []
+    small_delta_beats_full = True
+    for workers in worker_counts:
+        runtime = None if workers == 1 else RuntimeConfig(
+            workers=workers, batch_size=args.batch_size, executor="thread",
+            blocking_shards=workers,
+        )
+        full_seconds, batch_result = time_full_run(
+            matcher, dataset, runtime, args.repeats
+        )
+        for fraction in delta_fractions:
+            delta_size = max(1, int(len(records) * fraction))
+            prefix, delta = records[:-delta_size], records[-delta_size:]
+            frozen = warm_state(matcher, prefix, runtime)
+            ingest_seconds, incremental, report = time_delta_ingest(
+                frozen, delta, runtime, args.repeats
+            )
+            assert_batch_equivalent(incremental, batch_result)
+            speedup = full_seconds / ingest_seconds
+            if fraction == min(delta_fractions) and ingest_seconds >= full_seconds:
+                small_delta_beats_full = False
+            rows.append({
+                "Workers": workers,
+                "Delta": f"{delta_size} ({fraction:.0%})",
+                "Full run (s)": round(full_seconds, 3),
+                "Ingest (s)": round(ingest_seconds, 3),
+                "Speedup": round(speedup, 2),
+                "Pairs scored": f"{report.pairs_scored}/{report.num_candidates}",
+                "Recleaned": (
+                    f"{report.components_recleaned}/{report.components_total}"
+                ),
+            })
+
+    print(format_table(rows, title="Delta ingest vs full batch re-run"))
+    print("equivalence: incremental == batch (candidates, probabilities, "
+          "groups), bitwise — OK")
+
+    if not args.quick:
+        assert small_delta_beats_full, (
+            "small-delta ingestion failed to beat the full batch re-run"
+        )
+
+    report_doc = {
+        "benchmark": "incremental_ingest",
+        "quick": args.quick,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workload": {
+            "entities": args.entities,
+            "seed": args.seed,
+            "records": len(records),
+            "delta_fractions": delta_fractions,
+            "batch_size": args.batch_size,
+            "repeats": args.repeats,
+            "cpu_count": os.cpu_count(),
+        },
+        "rows": rows,
+        "equivalence": {"incremental_equals_batch_bitwise": True},
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    filename = (
+        "BENCH_incremental_quick.json" if args.quick else "BENCH_incremental.json"
+    )
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(report_doc, indent=2) + "\n", encoding="utf-8")
+    print(f"[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

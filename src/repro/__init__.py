@@ -40,6 +40,12 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "load_spec": ("repro.api", "load_spec"),
     "build_pipeline": ("repro.api", "build_pipeline"),
     "run_experiment": ("repro.api", "run_experiment"),
+    "open_state": ("repro.api", "open_state"),
+    "ingest": ("repro.api", "ingest"),
+    "IncrementalMatcher": ("repro.incremental", "IncrementalMatcher"),
+    "IngestReport": ("repro.incremental", "IngestReport"),
+    "MatchState": ("repro.incremental", "MatchState"),
+    "MatchStateError": ("repro.incremental", "MatchStateError"),
     "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
     "PipelineSpec": ("repro.specs", "PipelineSpec"),
     "ComponentSpec": ("repro.specs", "ComponentSpec"),

@@ -8,11 +8,14 @@ Three entry points cover the config-driven workflow end to end:
   :class:`~repro.core.pipeline.EntityGroupMatchingPipeline` around a given
   matcher,
 * :func:`run_experiment` — the whole Table 4 protocol (fine-tune, run,
-  score) from a spec.
+  score) from a spec,
+* :func:`open_state` / :func:`ingest` — the incremental-ingestion
+  counterpart: initialise or reopen a persistent
+  :class:`~repro.incremental.MatchState` and feed it record deltas.
 
-The CLI's ``repro run config.toml`` is a thin wrapper over these, and
-``repro match`` builds a spec internally — there is exactly one code path
-from configuration to results.
+The CLI's ``repro run config.toml`` / ``repro ingest`` are thin wrappers
+over these, and ``repro match`` builds a spec internally — there is exactly
+one code path from configuration to results.
 """
 
 from __future__ import annotations
@@ -24,21 +27,33 @@ from typing import Any
 
 from repro.specs import ExperimentSpec, PipelineSpec, SpecValidationError
 
+#: Spec file suffixes :func:`load_spec` understands, mapped to their parser.
+SPEC_SUFFIXES = (".toml", ".json")
+
 
 def load_spec(source: str | Path | Mapping[str, Any]) -> ExperimentSpec:
     """Load an :class:`ExperimentSpec` from a file path or parsed mapping.
 
-    Paths are dispatched on suffix: ``.toml`` parses as TOML, ``.json`` as
-    JSON; anything else raises a :class:`SpecValidationError` naming the
-    file.  Relative dataset paths inside the spec are interpreted against
-    the current working directory (not the spec file), matching how the CLI
-    documents them.
+    Paths are dispatched on suffix (case-insensitive): ``.toml`` parses as
+    TOML, ``.json`` as JSON.  Every failure mode — missing file, directory,
+    unknown suffix — raises a :class:`SpecValidationError` naming the path
+    and the supported extensions, never a raw ``FileNotFoundError`` /
+    ``KeyError`` traceback.  Relative dataset paths inside the spec are
+    interpreted against the current working directory (not the spec file),
+    matching how the CLI documents them.
     """
     if isinstance(source, Mapping):
         return ExperimentSpec.from_dict(source)
     path = Path(source)
+    supported = " or ".join(SPEC_SUFFIXES)
     if not path.exists():
-        raise SpecValidationError(str(path), "spec file not found")
+        raise SpecValidationError(
+            str(path), f"spec file not found (expected a {supported} file)"
+        )
+    if path.is_dir():
+        raise SpecValidationError(
+            str(path), f"expected a {supported} spec file, got a directory"
+        )
     text = path.read_text(encoding="utf-8")
     suffix = path.suffix.lower()
     if suffix == ".toml":
@@ -46,7 +61,8 @@ def load_spec(source: str | Path | Mapping[str, Any]) -> ExperimentSpec:
     if suffix == ".json":
         return ExperimentSpec.from_json(text)
     raise SpecValidationError(
-        str(path), f"unsupported spec format {suffix!r}; expected .toml or .json"
+        str(path),
+        f"unsupported spec format {suffix or path.name!r}; expected {supported}",
     )
 
 
@@ -135,4 +151,115 @@ def run_experiment(
     return experiment.run()
 
 
-__all__ = ["build_pipeline", "load_spec", "run_experiment"]
+def _as_dataset(source):
+    """Accept a Dataset or a CSV path."""
+    from repro.datagen.io import read_dataset_csv
+    from repro.datagen.records import Dataset
+
+    if isinstance(source, Dataset):
+        return source
+    path = Path(source)
+    if not path.exists():
+        raise SpecValidationError(str(path), "dataset file not found")
+    return read_dataset_csv(path)
+
+
+def open_state(
+    state_dir: str | Path,
+    *,
+    spec: ExperimentSpec | str | Path | Mapping[str, Any] | None = None,
+    train_dataset=None,
+    runtime=None,
+    save: bool = True,
+):
+    """Open — or initialise — a persistent incremental match state.
+
+    If ``state_dir`` already holds a saved state, it is loaded (``spec`` and
+    ``train_dataset`` are ignored; ``runtime`` optionally overrides the
+    stored engine settings, which never changes results).  Otherwise a fresh
+    state is initialised from ``spec``: the spec's model is fine-tuned on
+    ``train_dataset`` with exactly the :func:`run_experiment` protocol, so
+    ingesting that corpus (in any partition) reproduces ``run_experiment``'s
+    groups byte for byte.  With ``save`` (default) the fresh state is
+    persisted to ``state_dir`` immediately.
+
+    Returns an :class:`~repro.incremental.IncrementalMatcher`.
+    """
+    from repro.evaluation.experiment import EntityGroupMatchingExperiment
+    from repro.incremental import IncrementalMatcher, is_state_dir
+
+    state_dir = Path(state_dir)
+    if is_state_dir(state_dir):
+        return IncrementalMatcher.load(state_dir, runtime=runtime)
+    if spec is None:
+        raise SpecValidationError(
+            str(state_dir),
+            "not an initialised match state and no spec was given — pass "
+            "spec= (and train_dataset=) to create one",
+        )
+    if not isinstance(spec, ExperimentSpec):
+        spec = load_spec(spec)
+    if train_dataset is None:
+        if spec.dataset is None:
+            raise SpecValidationError(
+                "experiment.dataset",
+                "initialising a match state needs a training dataset: pass "
+                "train_dataset= or set experiment.dataset in the spec",
+            )
+        train_dataset = spec.dataset
+    train_dataset = _as_dataset(train_dataset)
+    experiment = EntityGroupMatchingExperiment(
+        train_dataset, spec.to_experiment_config()
+    )
+    matcher = IncrementalMatcher.from_pipeline(
+        experiment.build_pipeline(), name=train_dataset.name
+    )
+    if runtime is not None:
+        from repro.runtime import PipelineRuntime, RuntimeConfig
+
+        if isinstance(runtime, RuntimeConfig):
+            runtime = PipelineRuntime(runtime)
+        matcher.runtime = runtime
+    matcher.state_dir = state_dir
+    if save:
+        matcher.save(state_dir)
+    return matcher
+
+
+def ingest(state, records, *, save: bool = True):
+    """Ingest a record delta into a persistent match state.
+
+    ``state`` is an :class:`~repro.incremental.IncrementalMatcher` or a
+    state directory path; ``records`` is a
+    :class:`~repro.datagen.records.Dataset`, a CSV path, or an iterable of
+    records.  With ``save`` (default) the updated state is persisted back
+    to its directory — a matcher that has no directory (never saved or
+    loaded) raises rather than silently dropping the persistence; pass
+    ``save=False`` for deliberate in-memory use.  Returns the
+    :class:`~repro.incremental.IngestReport`.
+    """
+    from repro.incremental import IncrementalMatcher
+
+    matcher = state if isinstance(state, IncrementalMatcher) else open_state(state)
+    if save and matcher.state_dir is None:
+        raise ValueError(
+            "ingest(save=True) needs a state directory, but this matcher "
+            "was never saved or loaded — save it first or pass save=False "
+            "for in-memory ingestion"
+        )
+    if isinstance(records, (str, Path)):
+        records = _as_dataset(records)
+    batch = records.records if hasattr(records, "records") else list(records)
+    report = matcher.ingest(batch)
+    if save:
+        matcher.save()
+    return report
+
+
+__all__ = [
+    "build_pipeline",
+    "ingest",
+    "load_spec",
+    "open_state",
+    "run_experiment",
+]

@@ -10,7 +10,7 @@ very large components specially (Section 4.2.1).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Sequence
 from typing import Any
 
@@ -29,6 +29,20 @@ class CandidatePair:
     @property
     def key(self) -> tuple[str, str]:
         return canonical_edge(self.left_id, self.right_id)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class BlockingDelta:
+    """Result of one incremental index update (:meth:`Blocking.delta_update`).
+
+    ``shared`` is the updated shared state; ``dirty_record_ids`` are the
+    *pre-existing* records whose :meth:`Blocking.candidates_for` output may
+    differ under the new state and must therefore be rescored (the newly
+    ingested records are always rescored, so they are never listed here).
+    """
+
+    shared: Any
+    dirty_record_ids: frozenset[str] = field(default_factory=frozenset)
 
 
 class Blocking(ABC):
@@ -61,6 +75,10 @@ class Blocking(ABC):
     #: Whether this blocking implements the two-phase sharded protocol.
     shardable: bool = False
 
+    #: Whether this blocking implements the incremental index-update protocol
+    #: (:meth:`delta_update`) on top of the sharded one.
+    delta_capable: bool = False
+
     @abstractmethod
     def candidate_pairs(self, dataset: Dataset) -> list[CandidatePair]:
         """Return the candidate pairs for ``dataset``."""
@@ -90,6 +108,30 @@ class Blocking(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support record-sharded "
             "candidate generation (shardable=False)"
+        )
+
+    def delta_update(
+        self, shared: Any, dataset: Dataset, new_records: Sequence[Record]
+    ) -> BlockingDelta:
+        """Fold newly ingested records into an existing shared state.
+
+        ``dataset`` is the *full* dataset with ``new_records`` already
+        appended (in ingestion order); ``shared`` is the state built for the
+        dataset *without* them.  The contract that makes incremental
+        ingestion byte-identical to a one-shot batch run:
+
+        1. the returned ``shared`` must equal ``prepare(dataset)`` — the
+           delta path may reuse cached derivations (tokenisations, postings)
+           but never diverge from the global rebuild, and
+        2. for every pre-existing record *not* in ``dirty_record_ids``,
+           ``candidates_for(new_shared, [record])`` must equal
+           ``candidates_for(old_shared, [record])`` — dirtiness may be
+           conservative (listing too many records costs rescoring time, not
+           correctness), never optimistic.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental index "
+            "updates (delta_capable=False)"
         )
 
     def partition(self) -> list["Blocking"]:

@@ -17,7 +17,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
+from repro.blocking.base import Blocking, BlockingDelta, CandidatePair, dedupe_pairs
 from repro.datagen.identifiers import SECURITY_ID_FIELDS
 from repro.datagen.records import CompanyRecord, Dataset, Record, SecurityRecord
 from repro.registry import register_blocking
@@ -51,6 +51,7 @@ class IdOverlapBlocking(Blocking):
 
     name = "id_overlap"
     shardable = True
+    delta_capable = True
 
     def __init__(self, cross_source_only: bool = True) -> None:
         #: When true (the default), only pairs from different data sources are
@@ -76,6 +77,60 @@ class IdOverlapBlocking(Blocking):
             index=dict(index),
             values_by_owner=dict(values_by_owner),
             sources=sources,
+        )
+
+    def delta_update(
+        self, shared: IdentifierIndex, dataset: Dataset, new_records: Sequence[Record]
+    ) -> BlockingDelta:
+        """Append new carriers to the inverted index, locally.
+
+        Identifier joins are exact-key, so only the values a new record
+        carries can change: their record lists gain the new carriers (at the
+        end — new records sit at the end of dataset order), and their
+        *first-carrier* owner must re-derive its owned-value list (a value
+        that just crossed from one carrier to two starts producing pairs).
+        A value's first carrier never changes (new records are appended), so
+        the only dirty pre-existing records are owners of a value touched by
+        a new record — every other record's emission is untouched.
+        """
+        index = dict(shared.index)
+        sources = dict(shared.sources)
+        touched_values: dict[str, None] = {}
+        for record in new_records:
+            sources[record.record_id] = record.source
+            for value in self._identifier_values(record):
+                existing = index.get(value)
+                index[value] = [*existing, record.record_id] if existing else [
+                    record.record_id
+                ]
+                touched_values.setdefault(value)
+
+        new_ids = {record.record_id for record in new_records}
+        values_by_owner = dict(shared.values_by_owner)
+        dirty: set[str] = set()
+        reowned: dict[str, None] = {}
+        for value in touched_values:
+            record_ids = index[value]
+            if len(record_ids) >= 2:
+                reowned.setdefault(record_ids[0])
+        for owner_id in reowned:
+            # Re-derive the owner's owned-value list in its own value order
+            # (== the global first-encounter order restricted to this owner,
+            # since the owner is by definition each value's first carrier).
+            # Deduped like the index insertion: a value a record carries
+            # twice is keyed once.
+            owned: dict[str, None] = {}
+            for value in self._identifier_values(dataset.record(owner_id)):
+                if index[value][0] == owner_id and len(index[value]) >= 2:
+                    owned.setdefault(value)
+            values_by_owner[owner_id] = list(owned)
+            if owner_id not in new_ids:
+                dirty.add(owner_id)
+        return BlockingDelta(
+            shared=IdentifierIndex(
+                index=index, values_by_owner=values_by_owner, sources=sources
+            ),
+            dirty_record_ids=frozenset(dirty),
         )
 
     def candidates_for(

@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
-from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
+from repro.blocking.base import Blocking, BlockingDelta, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset, Record, SecurityRecord
 from repro.registry import register_blocking
 
@@ -43,6 +43,7 @@ class IssuerMatchBlocking(Blocking):
 
     name = "issuer_match"
     shardable = True
+    delta_capable = True
 
     def __init__(
         self,
@@ -87,6 +88,55 @@ class IssuerMatchBlocking(Blocking):
         return IssuerGroupIndex(
             securities_by_group=dict(securities_by_group),
             groups_by_owner=dict(groups_by_owner),
+        )
+
+    def delta_update(
+        self, shared: IssuerGroupIndex, dataset: Dataset, new_records: Sequence[Record]
+    ) -> BlockingDelta:
+        """Append new securities to their issuer groups, locally.
+
+        The issuer-group mapping is fixed at construction, so a new security
+        only ever extends one group's member list (at the end — dataset
+        order).  A group's first security never changes; the only dirty
+        pre-existing record is the first security of a group that gained a
+        member (its emitted pair set grows), which includes the
+        one-to-two-members transition that first makes the group an owner.
+        """
+        securities_by_group = dict(shared.securities_by_group)
+        touched_groups: dict[int, None] = {}
+        for record in new_records:
+            if not isinstance(record, SecurityRecord):
+                continue
+            if record.issuer_record_id is None:
+                continue
+            group = self._group_of.get(record.issuer_record_id)
+            if group is None:
+                continue
+            existing = securities_by_group.get(group)
+            securities_by_group[group] = (
+                [*existing, record] if existing else [record]
+            )
+            touched_groups.setdefault(group)
+
+        new_ids = {record.record_id for record in new_records}
+        groups_by_owner = dict(shared.groups_by_owner)
+        dirty: set[str] = set()
+        for group in touched_groups:
+            securities = securities_by_group[group]
+            if len(securities) < 2:
+                continue
+            owner_id = securities[0].record_id
+            # Each security belongs to exactly one issuer group, so an
+            # owner's list holds at most its own group.
+            groups_by_owner[owner_id] = [group]
+            if owner_id not in new_ids:
+                dirty.add(owner_id)
+        return BlockingDelta(
+            shared=IssuerGroupIndex(
+                securities_by_group=securities_by_group,
+                groups_by_owner=groups_by_owner,
+            ),
+            dirty_record_ids=frozenset(dirty),
         )
 
     def candidates_for(

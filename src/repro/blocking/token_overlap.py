@@ -20,7 +20,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
+from repro.blocking.base import Blocking, BlockingDelta, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset, Record
 from repro.registry import register_blocking
 from repro.text.tokenize import word_tokenize
@@ -61,6 +61,7 @@ class TokenOverlapBlocking(Blocking):
 
     name = "token_overlap"
     shardable = True
+    delta_capable = True
 
     def __init__(
         self,
@@ -90,12 +91,28 @@ class TokenOverlapBlocking(Blocking):
             record.record_id: tuple(sorted(self._tokens(record)))
             for record in dataset
         }
-        num_tokenised = sum(1 for tokens in record_tokens.values() if tokens)
-        num_tokenised = max(num_tokenised, 1)
-
         document_frequency: Counter[str] = Counter()
         for tokens in record_tokens.values():
             document_frequency.update(tokens)
+        sources = {record.record_id: record.source for record in dataset}
+        return self._assemble(record_tokens, document_frequency, sources)
+
+    def _assemble(
+        self,
+        record_tokens: dict[str, tuple[str, ...]],
+        document_frequency: Counter,
+        sources: dict[str, str],
+    ) -> TokenIndex:
+        """Assemble the shared state from per-record tokenisations.
+
+        Shared by :meth:`prepare` and :meth:`delta_update`: everything after
+        tokenisation — the IDF denominator, the frequency cutoff and the
+        inverted index — is a pure function of ``record_tokens`` (in dataset
+        order), so building it here from cached tokenisations is identical
+        to a full :meth:`prepare` by construction.
+        """
+        num_tokenised = sum(1 for tokens in record_tokens.values() if tokens)
+        num_tokenised = max(num_tokenised, 1)
 
         frequency_cutoff = self.max_token_frequency * num_tokenised
         token_index: dict[str, list[str]] = defaultdict(list)
@@ -104,13 +121,55 @@ class TokenOverlapBlocking(Blocking):
                 if document_frequency[token] <= frequency_cutoff:
                     token_index[token].append(record_id)
 
-        sources = {record.record_id: record.source for record in dataset}
         return TokenIndex(
             record_tokens=record_tokens,
             document_frequency=document_frequency,
             token_index=dict(token_index),
             sources=sources,
             num_tokenised=num_tokenised,
+        )
+
+    def delta_update(
+        self, shared: TokenIndex, dataset: Dataset, new_records: Sequence[Record]
+    ) -> BlockingDelta:
+        """Fold new records in, reusing every existing tokenisation.
+
+        The expensive per-record work — attribute tokenisation — runs only
+        for the new records; document frequencies update incrementally and
+        the inverted index is re-assembled from the cached token tuples (a
+        cheap linear pass that cannot be skipped: the IDF denominator and
+        the frequency cutoff both move whenever tokenised records arrive,
+        which can flip any token's cutoff status).
+
+        Dirtiness is honest about the same global coupling: IDF weights are
+        ``1 + log(N / df)``, so adding *any* tokenised record shifts every
+        weight non-uniformly and may reorder any record's top-n selection —
+        all previously tokenised records are therefore dirty.  Token-less
+        new records touch nothing and dirty nothing.
+        """
+        new_tokens = {
+            record.record_id: tuple(sorted(self._tokens(record)))
+            for record in new_records
+        }
+        record_tokens = {**shared.record_tokens, **new_tokens}
+        document_frequency: Counter[str] = Counter(shared.document_frequency)
+        for tokens in new_tokens.values():
+            document_frequency.update(tokens)
+        sources = dict(shared.sources)
+        for record in new_records:
+            sources[record.record_id] = record.source
+
+        if any(new_tokens.values()):
+            dirty = frozenset(
+                record_id
+                for record_id, tokens in shared.record_tokens.items()
+                if tokens
+            )
+        else:
+            dirty = frozenset()
+        return BlockingDelta(
+            shared=self._assemble(record_tokens, document_frequency, sources),
+            dirty_record_ids=dirty,
         )
 
     def candidates_for(

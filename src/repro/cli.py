@@ -10,7 +10,13 @@ accompanying code exposes:
   generated dataset and print the three-stage scores (a Table 4 row),
 * ``repro run`` — the same experiment driven by a declarative JSON/TOML
   spec file (see :mod:`repro.specs`); ``repro match`` is a thin shim that
-  builds such a spec from its flags, so both commands share one code path.
+  builds such a spec from its flags, so both commands share one code path,
+* ``repro ingest`` — incremental ingestion: feed record-batch CSVs into a
+  persistent match state directory (created from a spec on first use); the
+  resulting groups are byte-identical to a one-shot ``repro run`` over the
+  concatenated batches,
+* ``repro state show`` — inspect a match state directory (and export its
+  current groups).
 
 Installed as ``repro`` (see ``pyproject.toml``) or runnable as
 ``python -m repro.cli``.
@@ -19,6 +25,7 @@ Installed as ``repro`` (see ``pyproject.toml``) or runnable as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -149,7 +156,49 @@ def build_parser() -> argparse.ArgumentParser:
                      help="path to an experiment spec (.toml or .json)")
     run.add_argument("--dataset", type=Path, default=None,
                      help="dataset CSV overriding the spec's experiment.dataset path")
+    run.add_argument("--groups-out", type=Path, default=None,
+                     help="write the final entity groups to this JSON file "
+                          "(canonically sorted, so equal partitions compare "
+                          "byte-equal)")
     _add_runtime_flags(run, overrides=True)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="ingest record-batch CSVs into a persistent match state "
+             "(byte-identical groups to a one-shot run over all batches)",
+    )
+    ingest.add_argument("batches", type=Path, nargs="+",
+                        help="record-batch CSV files, ingested in order")
+    ingest.add_argument("--state", type=Path, default=None,
+                        help="match state directory (defaults to the spec's "
+                             "[pipeline.state] dir); created on first use")
+    ingest.add_argument("--config", type=Path, default=None,
+                        help="experiment spec used to initialise a fresh "
+                             "state (required the first time)")
+    ingest.add_argument("--train-dataset", type=Path, default=None,
+                        help="dataset CSV the matcher is fine-tuned on at "
+                             "state creation (defaults to the spec's "
+                             "experiment.dataset; train on the full corpus "
+                             "to reproduce a one-shot run exactly)")
+    ingest.add_argument("--groups-out", type=Path, default=None,
+                        help="write the post-ingest entity groups to this "
+                             "JSON file (same canonical format as repro run)")
+    ingest.add_argument("--no-save", action="store_true",
+                        help="do not persist the updated state back to the "
+                             "state directory")
+    _add_runtime_flags(ingest, overrides=True)
+
+    state = subparsers.add_parser(
+        "state", help="inspect persistent match state directories"
+    )
+    state_sub = state.add_subparsers(dest="state_command", required=True)
+    show = state_sub.add_parser(
+        "show", help="print a match state's manifest summary"
+    )
+    show.add_argument("state_dir", type=Path, help="match state directory")
+    show.add_argument("--groups-out", type=Path, default=None,
+                      help="write the state's current entity groups to this "
+                           "JSON file (same canonical format as repro run)")
     return parser
 
 
@@ -180,7 +229,24 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_spec(spec: ExperimentSpec, dataset_path: Path) -> int:
+def write_groups_json(groups, path: Path) -> Path:
+    """Write entity groups to ``path`` in canonical JSON form.
+
+    Groups are sorted record lists, sorted among themselves — a pure
+    function of the *partition*, independent of internal group order — so
+    two runs produce byte-equal files iff they produced the same groups.
+    This is what the CI smoke diffs between ``repro run`` and ``repro
+    ingest``.
+    """
+    canonical = sorted(sorted(group) for group in groups)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"groups": canonical}, indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def _run_spec(spec: ExperimentSpec, dataset_path: Path,
+              groups_out: Path | None = None) -> int:
     """Shared execution path of ``match`` and ``run``."""
     from repro.api import run_experiment
 
@@ -189,6 +255,9 @@ def _run_spec(spec: ExperimentSpec, dataset_path: Path) -> int:
         return 2
     result = run_experiment(spec, dataset=dataset)
     print(format_table([result.as_row()], title="Entity group matching result"))
+    if groups_out is not None:
+        written = write_groups_json(result.pipeline_result.groups, groups_out)
+        print(f"wrote {len(result.pipeline_result.groups)} groups to {written}")
     return 0
 
 
@@ -218,6 +287,15 @@ def _command_match(args: argparse.Namespace) -> int:
     return _run_spec(spec, args.dataset)
 
 
+def _flag_overrides(args: argparse.Namespace) -> dict:
+    """The runtime flags the user explicitly typed (``None`` = untouched)."""
+    return {
+        key: value
+        for key in _RUNTIME_FLAG_KEYS
+        if (value := getattr(args, key)) is not None
+    }
+
+
 def _apply_runtime_overrides(
     spec: ExperimentSpec, args: argparse.Namespace
 ) -> ExperimentSpec:
@@ -227,11 +305,7 @@ def _apply_runtime_overrides(
     ``[pipeline.runtime]`` value, which beats the library default — flags
     left at their ``None`` default never touch the spec.
     """
-    overrides = {
-        key: value
-        for key in _RUNTIME_FLAG_KEYS
-        if (value := getattr(args, key)) is not None
-    }
+    overrides = _flag_overrides(args)
     if not overrides:
         return spec
     runtime = replace(spec.pipeline.runtime, **overrides)
@@ -259,7 +333,145 @@ def _command_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    return _run_spec(spec, dataset_path)
+    return _run_spec(spec, dataset_path, groups_out=args.groups_out)
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.api import ingest, load_spec, open_state
+    from repro.incremental import MatchStateError, is_state_dir
+
+    spec = None
+    if args.config is not None:
+        if not args.config.exists():
+            print(f"error: spec file not found: {args.config}", file=sys.stderr)
+            return 2
+        try:
+            spec = _apply_runtime_overrides(load_spec(args.config), args)
+        except SpecValidationError as error:
+            print(f"error: invalid spec {args.config}: {error}", file=sys.stderr)
+            return 2
+
+    state_dir = args.state
+    if state_dir is None and spec is not None and spec.pipeline.state.dir:
+        state_dir = Path(spec.pipeline.state.dir)
+    if state_dir is None:
+        print(
+            "error: no state directory: pass --state or set "
+            "[pipeline.state] dir in the spec",
+            file=sys.stderr,
+        )
+        return 2
+
+    missing = [str(path) for path in args.batches if not path.exists()]
+    if missing:
+        print(f"error: dataset file not found: {missing[0]}", file=sys.stderr)
+        return 2
+
+    save = not args.no_save
+    autosave = save and (spec is None or spec.pipeline.state.autosave)
+    try:
+        if is_state_dir(state_dir):
+            if args.train_dataset is not None:
+                print(
+                    f"error: {state_dir} is already initialised; "
+                    "--train-dataset only applies when creating a state "
+                    "(use a fresh --state directory to retrain)",
+                    file=sys.stderr,
+                )
+                return 2
+            matcher = open_state(state_dir)
+            # Engine settings for this invocation (results never depend on
+            # them): CLI flags beat the spec's [pipeline.runtime] (when
+            # --config is given — note _apply_runtime_overrides already
+            # folded the flags in), which beats the stored state's config.
+            if spec is not None:
+                print(
+                    f"using the components stored in {state_dir} (a spec's "
+                    "model/blocking sections apply only at state creation; "
+                    "[pipeline.runtime] and [pipeline.state] are honoured)"
+                )
+                runtime = spec.pipeline.runtime.to_runtime_config()
+            else:
+                runtime = _runtime_override_config(matcher, args)
+            if runtime is not None:
+                from repro.runtime import PipelineRuntime
+
+                matcher.runtime = PipelineRuntime(runtime)
+        else:
+            if spec is None:
+                print(
+                    f"error: {state_dir} is not an initialised match state; "
+                    "pass --config to create one",
+                    file=sys.stderr,
+                )
+                return 2
+            matcher = open_state(
+                state_dir,
+                spec=spec,
+                train_dataset=args.train_dataset,
+                save=save,
+            )
+            print(
+                f"initialised match state at {state_dir} "
+                f"(matcher {type(matcher.state.matcher).__name__}, blocking "
+                f"{[part.name for part in matcher.state.blocking.partition()]})"
+            )
+        for batch_path in args.batches:
+            report = ingest(matcher, batch_path, save=False)
+            print(
+                f"ingested {batch_path}: +{report.num_new_records} records "
+                f"(total {report.num_records}), scored "
+                f"{report.pairs_scored}/{report.num_candidates} pairs "
+                f"({report.pairs_reused} cached), recleaned "
+                f"{report.components_recleaned}/{report.components_total} "
+                f"components ({report.components_reused} untouched), "
+                f"{len(matcher.groups)} groups"
+            )
+            if autosave:
+                matcher.save(state_dir)
+        if save and not autosave:
+            matcher.save(state_dir)
+    except (MatchStateError, SpecValidationError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.groups_out is not None:
+        written = write_groups_json(matcher.groups, args.groups_out)
+        print(f"wrote {len(matcher.groups)} groups to {written}")
+    return 0
+
+
+def _runtime_override_config(matcher, args: argparse.Namespace):
+    """RuntimeConfig from explicitly-typed flags over the stored settings."""
+    overrides = _flag_overrides(args)
+    if not overrides:
+        return None
+    return replace(matcher.state.runtime_config, **overrides)
+
+
+def _command_state(args: argparse.Namespace) -> int:
+    from repro.incremental import MatchStateError, read_manifest
+
+    if args.state_command == "show":
+        try:
+            manifest = read_manifest(args.state_dir)
+        except MatchStateError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"Match state — {args.state_dir}")
+        for key in (
+            "format", "format_version", "name", "num_records", "num_ingests",
+            "num_candidates", "num_decisions", "num_groups",
+            "cleanup_strategy", "blocking_parts", "matcher_type",
+        ):
+            print(f"  {key}: {manifest.get(key)}")
+        if args.groups_out is not None:
+            from repro.incremental import IncrementalMatcher
+
+            matcher = IncrementalMatcher.load(args.state_dir)
+            written = write_groups_json(matcher.groups, args.groups_out)
+            print(f"wrote {len(matcher.groups)} groups to {written}")
+        return 0
+    raise ValueError(f"unknown state subcommand: {args.state_command!r}")
 
 
 _COMMANDS = {
@@ -267,6 +479,8 @@ _COMMANDS = {
     "stats": _command_stats,
     "match": _command_match,
     "run": _command_run,
+    "ingest": _command_ingest,
+    "state": _command_state,
 }
 
 

@@ -121,6 +121,15 @@ def gralmatch_cleanup(
     return [set(component) for component in final_components], report
 
 
+# Every removal Algorithm 1 makes is chosen from (and applied to) a single
+# connected component's subgraph, and the stopping conditions are per
+# component — so cleaning each initial component in isolation yields exactly
+# the same final components and removals as one global run.  The incremental
+# subsystem relies on this to re-clean only *dirty* components; strategies
+# without the marker are re-run on the whole graph every ingest.
+gralmatch_cleanup.component_local = True
+
+
 def _split_with_minimum_cuts(graph: Graph, gamma: int, report: CleanupReport) -> None:
     while True:
         largest = _largest_component(graph)

@@ -67,6 +67,12 @@ def bridge_removal_cleanup(
     return remaining_components, report
 
 
+# Bridges are found per oversized component and the Algorithm 1 fallback is
+# itself component-local, so this strategy qualifies for per-component
+# incremental recleanup (see the marker in repro.core.cleanup).
+bridge_removal_cleanup.component_local = True
+
+
 def adaptive_cleanup(
     edges: Iterable[tuple[str, str]],
     min_density: float = 0.6,
@@ -118,5 +124,13 @@ def adaptive_cleanup_strategy(
     thresholds of ``config`` are intentionally ignored — the adapter exists
     so declarative specs can select the strategy by name with the common
     ``(edges, config)`` calling convention.
+
+    Deliberately *not* marked ``component_local``: although each removal
+    targets one component's subgraph, ``max_iterations`` is a single global
+    budget shared across components — running the strategy once per
+    component would give every component its own fresh budget and could
+    remove more edges than one whole-graph run.  The incremental subsystem
+    therefore re-cleans the whole graph for this strategy (correct, just
+    not delta-proportional).
     """
     return adaptive_cleanup(edges)

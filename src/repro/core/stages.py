@@ -117,6 +117,53 @@ class MatchingStage(PipelineStage):
         )
 
 
+def apply_pre_cleanup(
+    decisions: list[MatchDecision],
+    candidates: list[CandidatePair],
+    config: PreCleanupConfig,
+) -> tuple[list[Edge], dict[tuple[str, str], str], list[Edge], set[Edge]]:
+    """Positive edges, blocking tags, and the pre-cleanup rule — one place.
+
+    Returns ``(positive_edges, edge_blockings, kept_edges, removed)``.
+    Shared by :class:`PreCleanupStage` and the incremental matcher so the
+    two execution modes cannot drift — byte-identical ingestion depends on
+    both running exactly this computation.
+    """
+    positive_edges = [
+        decision.pair for decision in decisions if decision.is_match
+    ]
+    edge_blockings = {
+        candidate.key: candidate.blocking for candidate in candidates
+    }
+    kept_edges, removed = pre_cleanup(positive_edges, edge_blockings, config)
+    return positive_edges, edge_blockings, kept_edges, removed
+
+
+def groups_from_components(
+    components: list[set[str]],
+    all_record_ids: list[str],
+    positive_edges: list[Edge],
+) -> tuple[EntityGroups, EntityGroups]:
+    """Final + pre-cleanup groups from cleaned components — one place.
+
+    Cleaned components first (in their given order), then singletons for
+    uncovered records in dataset order.  Shared by :class:`GroupingStage`
+    and the incremental matcher (same drift argument as
+    :func:`apply_pre_cleanup`).
+    """
+    covered = {
+        record_id for component in components for record_id in component
+    }
+    groups: list[set[str]] = [set(component) for component in components]
+    groups.extend(
+        {record_id} for record_id in all_record_ids if record_id not in covered
+    )
+    return (
+        EntityGroups(groups),
+        EntityGroups.from_edges(positive_edges, all_record_ids),
+    )
+
+
 class PreCleanupStage(PipelineStage):
     """Section 4.2.1: drop token-overlap predictions in huge components."""
 
@@ -127,15 +174,12 @@ class PreCleanupStage(PipelineStage):
         self.config = config or PreCleanupConfig()
 
     def run(self, context: PipelineContext) -> None:
-        context.positive_edges = [
-            decision.pair for decision in context.decisions if decision.is_match
-        ]
-        context.edge_blockings = {
-            candidate.key: candidate.blocking for candidate in context.candidates
-        }
-        context.kept_edges, context.pre_cleanup_removed = pre_cleanup(
-            context.positive_edges, context.edge_blockings, self.config
-        )
+        (
+            context.positive_edges,
+            context.edge_blockings,
+            context.kept_edges,
+            context.pre_cleanup_removed,
+        ) = apply_pre_cleanup(context.decisions, context.candidates, self.config)
 
 
 class GraphCleanupStage(PipelineStage):
@@ -167,14 +211,6 @@ class GroupingStage(PipelineStage):
 
     def run(self, context: PipelineContext) -> None:
         all_record_ids = [record.record_id for record in context.dataset]
-        covered = {
-            record_id for component in context.components for record_id in component
-        }
-        groups: list[set[str]] = [set(component) for component in context.components]
-        groups.extend(
-            {record_id} for record_id in all_record_ids if record_id not in covered
-        )
-        context.groups = EntityGroups(groups)
-        context.pre_cleanup_groups = EntityGroups.from_edges(
-            context.positive_edges, all_record_ids
+        context.groups, context.pre_cleanup_groups = groups_from_components(
+            context.components, all_record_ids, context.positive_edges
         )

@@ -202,7 +202,26 @@ class EntityGroupMatchingExperiment:
     def run(self, model: str | ModelSpec | None = None) -> ExperimentResult:
         """Fine-tune the model and run the end-to-end matching."""
         spec = resolve_model_spec(model or self.config.model)
+        pipeline = self._assemble_pipeline(spec)
+        result = pipeline.run(self.dataset)
+        return self._score(spec, pipeline.cleanup_config, result)
 
+    def build_pipeline(
+        self, model: str | ModelSpec | None = None
+    ) -> EntityGroupMatchingPipeline:
+        """Fine-tune the configured model and assemble the pipeline around
+        it, *without* running it.
+
+        The entry point the incremental-ingestion subsystem shares with
+        :meth:`run`: both construct the exact same fitted matcher and
+        components (the fine-tuning protocol is deterministic given the
+        dataset and seed), which is what makes a persistent state
+        initialised from a training corpus produce groups byte-identical to
+        ``run()`` on that corpus.
+        """
+        return self._assemble_pipeline(resolve_model_spec(model or self.config.model))
+
+    def _assemble_pipeline(self, spec: ModelSpec) -> EntityGroupMatchingPipeline:
         tuner = FineTuner(
             negative_ratio=self.config.negative_ratio,
             num_epochs=self.config.num_epochs,
@@ -214,18 +233,14 @@ class EntityGroupMatchingExperiment:
             train_entities=self.splits.train_entities,
             validation_entities=self.splits.validation_entities,
         )
-
-        cleanup_config = self.build_cleanup_config()
-        pipeline = EntityGroupMatchingPipeline(
+        return EntityGroupMatchingPipeline(
             matcher=fine_tuned.matcher,
             blocking=self.build_blocking(),
-            cleanup_config=cleanup_config,
+            cleanup_config=self.build_cleanup_config(),
             pre_cleanup_config=self.build_pre_cleanup_config(),
             runtime=self.config.runtime,
             cleanup_strategy=self.config.cleanup_strategy,
         )
-        result = pipeline.run(self.dataset)
-        return self._score(spec, cleanup_config, result)
 
     def _score(
         self,

@@ -196,7 +196,17 @@ class LogisticRegressionMatcher(TrainablePairwiseMatcher):
         return self._probabilities(features)
 
     def _probabilities(self, scaled_features: np.ndarray) -> list[float]:
-        probabilities = _sigmoid(scaled_features @ self._weights + self._bias)
+        # Row-local on purpose: each pair's logit is an elementwise product
+        # reduced along its own row, never one batched gemv — BLAS may pick
+        # different accumulation paths at different matrix heights, which
+        # shifts borderline logits by an ULP.  NumPy's axis-1 pairwise
+        # reduction runs per row over a fixed length, so a pair's
+        # probability is bitwise independent of how inference was batched —
+        # the property the incremental subsystem's decision cache (reusing
+        # a probability scored under one chunking inside a run that chose
+        # another) relies on.
+        logits = (scaled_features * self._weights).sum(axis=1)
+        probabilities = _sigmoid(logits + self._bias)
         return [float(p) for p in probabilities]
 
     # -- profiled inference -------------------------------------------------------

@@ -176,8 +176,9 @@ class ProfileStore:
     The matching counterpart of the blocking layer's prepared shared state:
     built in the parent by :meth:`prepare`, shipped to every process-pool
     worker once (via the pool initializer), and read by id from the
-    per-chunk scoring tasks.  Stores are picklable and immutable after
-    construction.
+    per-chunk scoring tasks.  Stores are picklable; they only ever grow
+    (:meth:`add_records` appends profiles for newly ingested records —
+    existing profiles are never mutated or replaced).
 
     Besides the profiles, a store carries transient *similarity caches*:
     records repeat names across data sources, so candidate sets compare the
@@ -212,6 +213,23 @@ class ProfileStore:
         """Profile every record once.  Accepts any record iterable — a
         :class:`~repro.datagen.records.Dataset` iterates its records."""
         return cls({record.record_id: build_profile(record) for record in records})
+
+    def add_records(self, records: Iterable[Record]) -> int:
+        """Profile records not yet in the store; returns how many were added.
+
+        The incremental-ingestion append path: a persistent store grows with
+        each delta instead of being rebuilt per run.  Profiles are pure
+        per-record derivations, so appending is trivially equivalent to a
+        fresh :meth:`prepare` over the union — already-profiled records are
+        skipped (their profile could not change) and the similarity memo
+        caches stay valid (they key on strings, not records).
+        """
+        added = 0
+        for record in records:
+            if record.record_id not in self._profiles:
+                self._profiles[record.record_id] = build_profile(record)
+                added += 1
+        return added
 
     def get(self, record_id: str) -> RecordProfile:
         return self._profiles[record_id]

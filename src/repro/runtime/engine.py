@@ -118,6 +118,36 @@ def _blocking_task(plan: _BlockingPlan, task: _BlockingTask) -> list[CandidatePa
     return blocking.candidates_for(plan.states[task.part], plan.records[start:stop])
 
 
+@dataclass(frozen=True)
+class _DeltaBlockingPlan:
+    """Shared state of the per-record rescoring fan-out (delta ingestion).
+
+    One part, its prepared shared index, and the records to rescore; tasks
+    are index spans into ``records``.
+    """
+
+    part: Blocking
+    state: Any
+    records: tuple[Record, ...]
+
+
+def _delta_blocking_task(
+    plan: _DeltaBlockingPlan, span: tuple[int, int]
+) -> list[tuple[CandidatePair, ...]]:
+    """Worker task: per-record owned candidate lists for one record span.
+
+    Single-record chunks are a valid chunking under the shardable contract,
+    so each record's ``candidates_for`` output is exactly its slice of the
+    serial emission stream — which is what lets the incremental matcher
+    splice rescored records into a stored per-record candidate map.
+    """
+    start, stop = span
+    return [
+        tuple(plan.part.candidates_for(plan.state, (record,)))
+        for record in plan.records[start:stop]
+    ]
+
+
 class PipelineRuntime:
     """Executes the data-parallel pipeline stages under a runtime config."""
 
@@ -184,6 +214,42 @@ class PipelineRuntime:
             merged.extend(pairs)
         return dedupe_pairs(merged)
 
+    def run_blocking_delta(
+        self,
+        part: Blocking,
+        shared: Any,
+        records: Sequence[Record],
+        profiler: StageProfiler | None = None,
+    ) -> list[tuple[CandidatePair, ...]]:
+        """Rescore individual records against a prepared shared index.
+
+        The incremental-ingestion counterpart of :meth:`run_blocking`: given
+        one (shardable) part and its up-to-date shared state, return each
+        record's owned candidate pairs — one tuple per record, aligned with
+        ``records``.  Spans of records fan out over the pool exactly like
+        sharded candidate generation (``blocking_shards`` tasks, shared
+        state via the initializer path), and per-record outputs are sliced
+        worker-side so the parent can splice them into a persistent
+        record → candidates map.
+        """
+        if not records:
+            return []
+        plan = _DeltaBlockingPlan(
+            part=part, state=shared, records=tuple(records)
+        )
+        spans = even_spans(len(records), self.config.blocking_shards)
+        per_span = self.scheduler.map_chunks(
+            _delta_blocking_task,
+            spans,
+            stage="blocking_delta",
+            profiler=profiler,
+            shared=plan,
+        )
+        merged: list[tuple[CandidatePair, ...]] = []
+        for owned in per_span:
+            merged.extend(owned)
+        return merged
+
     # -- pairwise inference -------------------------------------------------
 
     def run_matching(
@@ -192,6 +258,7 @@ class PipelineRuntime:
         dataset: Dataset,
         candidates: Sequence[CandidatePair],
         profiler: StageProfiler | None = None,
+        profiles: Any = None,
     ) -> list[MatchDecision]:
         """Predict Match / NoMatch for every candidate, in candidate order.
 
@@ -208,24 +275,32 @@ class PipelineRuntime:
           id pairs;
         * **record pairs** (fallback) — chunk payloads are the record
           objects themselves, resolved here in the parent.
+
+        ``profiles`` (optional) short-circuits the preparation step of the
+        profiled route with an already-built store — the incremental
+        matcher's persistent :class:`~repro.matching.profiles.ProfileStore`
+        rides through here so each delta reuses every prior profile.  It
+        must cover every record the candidates reference; profiled output is
+        byte-identical to in-run preparation because profiles are pure
+        per-record derivations.
         """
         if not candidates:
             return []
         batches = chunked(candidates, self.config.batch_size)
         if self.config.profile_cache and matcher.profile_capable:
-            # Profile only the records the candidates reference: on a sparse
-            # candidate set (narrow blocking over a huge dataset) profiling
-            # the whole dataset would cost more than the cache saves.
-            referenced: dict[str, None] = {}
-            for candidate in candidates:
-                referenced.setdefault(candidate.left_id)
-                referenced.setdefault(candidate.right_id)
-            plan = _MatchingPlan(
-                matcher=matcher,
-                profiles=matcher.prepare_profiles(
+            if profiles is None:
+                # Profile only the records the candidates reference: on a
+                # sparse candidate set (narrow blocking over a huge dataset)
+                # profiling the whole dataset would cost more than the cache
+                # saves.
+                referenced: dict[str, None] = {}
+                for candidate in candidates:
+                    referenced.setdefault(candidate.left_id)
+                    referenced.setdefault(candidate.right_id)
+                profiles = matcher.prepare_profiles(
                     dataset.record(record_id) for record_id in referenced
-                ),
-            )
+                )
+            plan = _MatchingPlan(matcher=matcher, profiles=profiles)
             id_batches: list[list[tuple[str, str]]] = [
                 [(candidate.left_id, candidate.right_id) for candidate in batch]
                 for batch in batches

@@ -23,6 +23,7 @@ from repro.specs.pipeline import (
     PipelineSpec,
     PreCleanupSpec,
     RuntimeSpec,
+    StateSpec,
 )
 from repro.specs.experiment import ExperimentSpec
 
@@ -36,4 +37,5 @@ __all__ = [
     "PreCleanupSpec",
     "RuntimeSpec",
     "SpecValidationError",
+    "StateSpec",
 ]

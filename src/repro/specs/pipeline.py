@@ -205,6 +205,40 @@ class RuntimeSpec:
         )
 
 
+@dataclass(frozen=True)
+class StateSpec:
+    """Persistent-match-state settings (``[pipeline.state]``).
+
+    ``dir`` names the state directory ``repro ingest`` uses when no
+    ``--state`` flag is given; ``autosave`` controls whether every ingest
+    persists the updated state back to that directory (on by default —
+    switch off to batch several ingests per save).
+    """
+
+    dir: str | None = None
+    autosave: bool = True
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {}
+        if self.dir is not None:
+            data["dir"] = self.dir
+        if not self.autosave:
+            data["autosave"] = False
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], key: str) -> "StateSpec":
+        table = _expect_table(data, key)
+        _reject_unknown_keys(table, {"dir", "autosave"}, key)
+        state_dir = table.get("dir")
+        if state_dir is not None:
+            state_dir = _expect_str(state_dir, f"{key}.dir")
+        return cls(
+            dir=state_dir,
+            autosave=_expect_bool(table.get("autosave", True), f"{key}.autosave"),
+        )
+
+
 #: The Table 2 blocking recipes, as data.  ``token_overlap`` deliberately
 #: carries no ``top_n`` here: the builder injects the experiment-level
 #: ``token_top_n`` default, and explicit spec params always win.
@@ -223,6 +257,7 @@ class PipelineSpec:
     cleanup: CleanupSpec = field(default_factory=CleanupSpec)
     pre_cleanup: PreCleanupSpec = field(default_factory=PreCleanupSpec)
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
+    state: StateSpec = field(default_factory=StateSpec)
 
     # -- serialisation ------------------------------------------------------
 
@@ -234,6 +269,7 @@ class PipelineSpec:
             ("cleanup", self.cleanup.to_dict()),
             ("pre_cleanup", self.pre_cleanup.to_dict()),
             ("runtime", self.runtime.to_dict()),
+            ("state", self.state.to_dict()),
         ):
             if sub:
                 data[name] = sub
@@ -243,7 +279,7 @@ class PipelineSpec:
     def from_dict(cls, data: Mapping[str, Any], key: str = "pipeline") -> "PipelineSpec":
         table = _expect_table(data, key)
         _reject_unknown_keys(
-            table, {"blocking", "cleanup", "pre_cleanup", "runtime"}, key
+            table, {"blocking", "cleanup", "pre_cleanup", "runtime", "state"}, key
         )
         raw_blocking = table.get("blocking", [])
         if not isinstance(raw_blocking, Sequence) or isinstance(raw_blocking, (str, bytes)):
@@ -259,6 +295,7 @@ class PipelineSpec:
                 table.get("pre_cleanup", {}), f"{key}.pre_cleanup"
             ),
             runtime=RuntimeSpec.from_dict(table.get("runtime", {}), f"{key}.runtime"),
+            state=StateSpec.from_dict(table.get("state", {}), f"{key}.state"),
         )
 
     def to_json(self) -> str:

@@ -98,3 +98,59 @@ class TestUnionFindEqualsBfs:
     def test_mixed_node_types_fall_back_to_repr_ordering(self):
         graph = Graph([(1, "a"), ("b", 2.5)])
         assert connected_components(graph) == bfs_connected_components(graph)
+
+
+class TestIncrementalGrowthEqualsRebuild:
+    """The dynamic-extend contract the incremental subsystem leans on: a
+    forest grown edge by edge (in any batch split) is indistinguishable
+    from one rebuilt from scratch over the full edge set."""
+
+    @given(edges=edges, split=st.integers(min_value=0, max_value=120))
+    @settings(max_examples=200, deadline=None)
+    def test_growing_in_two_batches_equals_one_rebuild(self, edges, split):
+        split = min(split, len(edges))
+        grown = DisjointSet()
+        for u, v in edges[:split]:
+            grown.union(u, v)
+        # ... time passes, more edges arrive ...
+        for u, v in edges[split:]:
+            grown.union(u, v)
+
+        rebuilt = DisjointSet()
+        for u, v in edges:
+            rebuilt.union(u, v)
+        assert grown.components() == rebuilt.components()
+
+    @given(
+        edges=edges,
+        late_nodes=st.sets(nodes, max_size=10),
+        split=st.integers(min_value=0, max_value=120),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_late_added_nodes_equal_construction_time_nodes(
+        self, edges, late_nodes, split
+    ):
+        split = min(split, len(edges))
+        grown = DisjointSet()
+        for u, v in edges[:split]:
+            grown.union(u, v)
+        for node in sorted(late_nodes):
+            grown.add(node)
+        for u, v in edges[split:]:
+            grown.union(u, v)
+
+        rebuilt = DisjointSet(sorted(late_nodes))
+        for u, v in edges:
+            rebuilt.union(u, v)
+        assert grown.components() == rebuilt.components()
+        for node in late_nodes:
+            assert grown.component_size(node) == rebuilt.component_size(node)
+
+    @given(edges=edges)
+    @settings(max_examples=100, deadline=None)
+    def test_add_is_idempotent_under_growth(self, edges):
+        dsu = DisjointSet()
+        for u, v in edges:
+            dsu.union(u, v)
+            dsu.add(u)  # re-adding an existing node must change nothing
+        assert dsu.components() == union_find_components(edges)

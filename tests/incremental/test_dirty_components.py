@@ -1,0 +1,147 @@
+"""Dirty-component recleanup: untouched components provably skip clean-up.
+
+The per-component memo must (a) invoke the clean-up strategy only for
+components whose edge set changed — asserted by *counting the actual
+clean-up calls* through a monkeypatched seam — and (b) still produce output
+identical to re-cleaning the whole graph from scratch.
+"""
+
+import pytest
+
+import repro.incremental.matcher as incremental_matcher
+from repro.core.cleanup import gralmatch_cleanup
+from repro.incremental import IncrementalMatcher
+
+
+@pytest.fixture
+def counting_cleanup(monkeypatch):
+    """Route every per-component clean-up call through a counter."""
+    calls = []
+    original = incremental_matcher._component_cleanup
+
+    def counted(cleanup_fn, edges, config):
+        calls.append(list(edges))
+        return original(cleanup_fn, edges, config)
+
+    monkeypatch.setattr(incremental_matcher, "_component_cleanup", counted)
+    return calls
+
+
+def halves(records):
+    half = len(records) // 2
+    return records[:half], records[half:]
+
+
+class TestCleanupCallCounting:
+    def test_second_ingest_recleans_only_dirty_components(
+        self, golden_setup, pipeline_factory, counting_cleanup
+    ):
+        companies, _ = golden_setup
+        first, second = halves(companies.records)
+        matcher = IncrementalMatcher.from_pipeline(pipeline_factory())
+
+        matcher.ingest(first)
+        first_report = matcher.last_report
+        calls_first = len(counting_cleanup)
+        assert calls_first == first_report.components_recleaned
+        assert first_report.components_reused == 0
+
+        counting_cleanup.clear()
+        matcher.ingest(second)
+        report = matcher.last_report
+        # The proof: the strategy ran exactly once per dirty component and
+        # not at all for spliced (memo-hit) components.
+        assert len(counting_cleanup) == report.components_recleaned
+        assert report.components_reused > 0
+        assert (
+            report.components_recleaned + report.components_reused
+            == report.components_total
+        )
+        assert report.components_recleaned < report.components_total
+
+    def test_empty_delta_recleans_nothing(
+        self, golden_setup, pipeline_factory, counting_cleanup
+    ):
+        companies, _ = golden_setup
+        matcher = IncrementalMatcher.from_pipeline(pipeline_factory())
+        matcher.ingest(companies.records)
+        counting_cleanup.clear()
+        report = matcher.ingest([])
+        assert len(counting_cleanup) == 0
+        assert report.components_recleaned == 0
+        assert report.components_reused == report.components_total
+
+    def test_spliced_output_matches_full_recleanup(
+        self, golden_setup, pipeline_factory, batch_result
+    ):
+        # The memoised, spliced clean-up must equal running the strategy on
+        # the complete kept graph (which is what the batch pipeline does).
+        companies, _ = golden_setup
+        first, second = halves(companies.records)
+        matcher = IncrementalMatcher.from_pipeline(pipeline_factory())
+        matcher.ingest(first)
+        matcher.ingest(second)
+
+        kept = [
+            edge
+            for edge in (
+                decision.pair
+                for decision in matcher.decisions()
+                if decision.is_match
+            )
+            if edge not in matcher.state.pre_cleanup_removed
+        ]
+        full_components, full_report = gralmatch_cleanup(
+            kept, matcher.state.cleanup_config
+        )
+        incremental_groups = [
+            group for group in matcher.groups.groups if len(group) > 1
+        ]
+        full_non_singletons = [
+            frozenset(component)
+            for component in full_components
+            if len(component) > 1
+        ]
+        assert incremental_groups == full_non_singletons
+        assert matcher.state.cleanup_report.removed_edges == full_report.removed_edges
+        assert (
+            matcher.state.cleanup_report.mincut_removals
+            == full_report.mincut_removals
+        )
+        assert (
+            matcher.state.cleanup_report.betweenness_removals
+            == full_report.betweenness_removals
+        )
+
+
+class TestNonLocalStrategyFallback:
+    def test_unmarked_strategy_recleans_the_whole_graph(
+        self, golden_setup, pipeline_factory, monkeypatch
+    ):
+        # A strategy without the component_local marker gets no memo: every
+        # ingest re-cleans everything (correct, just not delta-proportional)
+        # and the result still matches the marked path.
+        from repro.registry import CLEANUPS
+
+        def unmarked(edges, config):
+            return gralmatch_cleanup(edges, config)
+
+        CLEANUPS.register("unmarked_gralmatch")(unmarked)
+        try:
+            pipeline = pipeline_factory()
+            pipeline.cleanup_strategy = "unmarked_gralmatch"
+            matcher = IncrementalMatcher.from_pipeline(pipeline)
+            companies, _ = golden_setup
+            first, second = halves(companies.records)
+            matcher.ingest(first)
+            matcher.ingest(second)
+            report = matcher.last_report
+            assert report.components_reused == 0
+            assert report.components_recleaned == report.components_total
+
+            reference = IncrementalMatcher.from_pipeline(pipeline_factory())
+            reference.ingest(first)
+            reference.ingest(second)
+            assert matcher.groups.groups == reference.groups.groups
+        finally:
+            CLEANUPS.unregister("unmarked_gralmatch")

@@ -1,0 +1,239 @@
+"""On-disk state format: manifest versioning and payload round-trips.
+
+Includes the satellite coverage for the :class:`ProfileStore` disk
+round-trip: profiles must come back bitwise identical through the state
+serialisation, with the transient similarity memos dropped and rewarmed
+exactly like the existing pickling (worker-shipping) path.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.incremental import (
+    STATE_FORMAT_VERSION,
+    IncrementalMatcher,
+    MatchStateError,
+    is_state_dir,
+    read_manifest,
+)
+from repro.incremental.state import MANIFEST_FILE
+from repro.matching.profiles import ProfileStore
+
+
+@pytest.fixture
+def saved_state(golden_setup, pipeline_factory, tmp_path):
+    companies, _ = golden_setup
+    matcher = IncrementalMatcher.from_pipeline(pipeline_factory(), name="golden")
+    matcher.ingest(companies.records[:100])
+    return matcher, matcher.save(tmp_path / "state")
+
+
+class TestManifest:
+    def test_round_trip_preserves_counters(self, saved_state):
+        matcher, state_dir = saved_state
+        assert is_state_dir(state_dir)
+        manifest = read_manifest(state_dir)
+        assert manifest["format_version"] == STATE_FORMAT_VERSION
+        assert manifest["num_records"] == 100
+        assert manifest["num_ingests"] == 1
+        assert manifest["blocking_parts"] == ["id_overlap", "token_overlap"]
+        assert manifest["matcher_type"] == "LogisticRegressionMatcher"
+
+    def test_missing_manifest_is_a_clear_error(self, tmp_path):
+        empty = tmp_path / "not-a-state"
+        empty.mkdir()
+        assert not is_state_dir(empty)
+        with pytest.raises(MatchStateError, match="missing manifest.json"):
+            read_manifest(empty)
+        with pytest.raises(MatchStateError, match="missing manifest.json"):
+            IncrementalMatcher.load(empty)
+
+    def test_future_format_version_is_rejected(self, saved_state):
+        _, state_dir = saved_state
+        manifest_path = state_dir / MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = STATE_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(MatchStateError, match="format version"):
+            IncrementalMatcher.load(state_dir)
+
+    def test_foreign_manifest_is_rejected(self, saved_state):
+        _, state_dir = saved_state
+        (state_dir / MANIFEST_FILE).write_text('{"format": "something-else"}')
+        with pytest.raises(MatchStateError, match="not a repro-match-state"):
+            IncrementalMatcher.load(state_dir)
+
+    def test_corrupt_manifest_is_rejected(self, saved_state):
+        _, state_dir = saved_state
+        (state_dir / MANIFEST_FILE).write_text("{not json")
+        with pytest.raises(MatchStateError, match="corrupt manifest"):
+            IncrementalMatcher.load(state_dir)
+
+    def test_missing_payload_is_a_clear_error(self, saved_state):
+        _, state_dir = saved_state
+        (state_dir / "rev1" / "matching_state.pkl").unlink()
+        with pytest.raises(MatchStateError, match="missing matching_state.pkl"):
+            IncrementalMatcher.load(state_dir)
+
+    def test_missing_payload_dir_is_a_clear_error(self, saved_state):
+        import shutil
+
+        _, state_dir = saved_state
+        shutil.rmtree(state_dir / "rev1")
+        with pytest.raises(MatchStateError, match="missing payload directory"):
+            IncrementalMatcher.load(state_dir)
+
+
+class TestApiIngestPersistence:
+    def test_ingest_without_state_dir_raises_instead_of_dropping_save(
+        self, golden_setup, pipeline_factory
+    ):
+        from repro.api import ingest
+
+        companies, _ = golden_setup
+        matcher = IncrementalMatcher.from_pipeline(pipeline_factory())
+        with pytest.raises(ValueError, match="save=False"):
+            ingest(matcher, companies.records[:5])
+        # Deliberate in-memory use works, and nothing was half-ingested.
+        report = ingest(matcher, companies.records[:5], save=False)
+        assert report.num_new_records == 5
+
+    def test_save_leaves_no_temp_files(self, saved_state):
+        _, state_dir = saved_state
+        assert not list(state_dir.glob("*.tmp"))
+
+    def test_repeated_saves_keep_exactly_one_payload_dir(
+        self, golden_setup, saved_state
+    ):
+        companies, _ = golden_setup
+        matcher, state_dir = saved_state
+        matcher.ingest(companies.records[100:110])
+        matcher.save(state_dir)
+        rev_dirs = [p for p in state_dir.glob("rev*") if p.is_dir()]
+        assert len(rev_dirs) == 1
+
+
+class TestCrashResilience:
+    def test_interrupted_save_leaves_previous_state_loadable(
+        self, golden_setup, saved_state, monkeypatch
+    ):
+        # Simulate a crash *after* the new payload directory is fully
+        # written but *before* the manifest commit: the manifest rename is
+        # the transaction's commit point, so loading must yield the
+        # previous state, intact.
+        from pathlib import Path
+
+        companies, _ = golden_setup
+        matcher, state_dir = saved_state
+        committed_manifest = (state_dir / "manifest.json").read_bytes()
+
+        matcher.ingest(companies.records[100:120])
+
+        def crash(self, target):
+            raise OSError("simulated crash before manifest commit")
+
+        monkeypatch.setattr(Path, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            matcher.save(state_dir)
+        monkeypatch.undo()
+
+        assert (state_dir / "manifest.json").read_bytes() == committed_manifest
+        recovered = IncrementalMatcher.load(state_dir)
+        assert len(recovered.state.records) == 100
+        assert recovered.state.num_ingests == 1
+        # The recovered state ingests onward normally (and sweeps the
+        # uncommitted payload directory on its next save).
+        recovered.ingest(companies.records[100:])
+        recovered.save(state_dir)
+        rev_dirs = [p for p in state_dir.glob("rev*") if p.is_dir()]
+        assert len(rev_dirs) == 1
+        assert len(IncrementalMatcher.load(state_dir).state.records) == len(
+            companies.records
+        )
+
+    def test_failed_ingest_poisons_the_matcher(
+        self, golden_setup, pipeline_factory, monkeypatch
+    ):
+        import repro.incremental.matcher as incremental_matcher
+
+        companies, _ = golden_setup
+        matcher = IncrementalMatcher.from_pipeline(pipeline_factory())
+        matcher.ingest(companies.records[:50])
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("worker pool died")
+
+        monkeypatch.setattr(
+            incremental_matcher.PipelineRuntime, "run_blocking_delta", boom
+        )
+        with pytest.raises(RuntimeError, match="worker pool died"):
+            matcher.ingest(companies.records[50:60])
+        monkeypatch.undo()
+
+        # The half-mutated state refuses further use with a clear pointer.
+        with pytest.raises(RuntimeError, match="reload the last saved state"):
+            matcher.ingest(companies.records[60:70])
+        with pytest.raises(RuntimeError, match="reload the last saved state"):
+            matcher.save("/tmp/should-not-be-written")
+
+    def test_validation_failure_does_not_poison(
+        self, golden_setup, pipeline_factory
+    ):
+        companies, _ = golden_setup
+        matcher = IncrementalMatcher.from_pipeline(pipeline_factory())
+        matcher.ingest(companies.records[:50])
+        with pytest.raises(ValueError, match="duplicate record ids"):
+            matcher.ingest([companies.records[0]])
+        report = matcher.ingest(companies.records[50:60])
+        assert report.num_new_records == 10
+
+
+class TestProfileStoreRoundTrip:
+    def test_profiles_survive_bitwise_and_memos_rewarm(self, saved_state):
+        matcher, state_dir = saved_state
+        store = matcher.state.profiles
+        assert isinstance(store, ProfileStore)
+        # Warm the in-memory similarity memos so the drop is observable.
+        from repro.matching.features import PairFeatureExtractor
+
+        extractor = PairFeatureExtractor()
+        candidates = matcher.candidates()[:20]
+        id_pairs = [(c.left_id, c.right_id) for c in candidates]
+        direct = extractor.extract_batch_profiles(store, id_pairs)
+        assert store.name_similarity_cache, "memo should be warm now"
+
+        matcher.save(state_dir)
+        reloaded = IncrementalMatcher.load(state_dir).state.profiles
+
+        # Bitwise-identical extracted features and identical profile dicts.
+        assert reloaded._profiles == store._profiles
+        # Memos are dropped on serialisation (like the pickling path) ...
+        assert reloaded.name_similarity_cache == {}
+        assert reloaded.stripped_similarity_cache == {}
+        # ... and rewarm to the same values, with identical feature output.
+        # (The original cache is a superset: ingest itself warmed it.)
+        rescored = extractor.extract_batch_profiles(reloaded, id_pairs)
+        assert rescored.tobytes() == direct.tobytes()
+        assert reloaded.name_similarity_cache
+        assert reloaded.name_similarity_cache.items() <= store.name_similarity_cache.items()
+
+    def test_state_serialisation_matches_plain_pickling(self, saved_state):
+        # The state path must behave exactly like pickling the store (the
+        # worker-shipping path): same profiles, dropped memos.
+        matcher, _ = saved_state
+        store = matcher.state.profiles
+        repickled = pickle.loads(pickle.dumps(store))
+        assert repickled._profiles == store._profiles
+        assert repickled.name_similarity_cache == {}
+
+    def test_store_grows_across_reload_and_further_ingest(
+        self, golden_setup, saved_state
+    ):
+        companies, _ = golden_setup
+        _, state_dir = saved_state
+        reloaded = IncrementalMatcher.load(state_dir)
+        before = len(reloaded.state.profiles)
+        reloaded.ingest(companies.records[100:])
+        assert len(reloaded.state.profiles) >= before

@@ -24,6 +24,7 @@ from repro.specs import (
     PreCleanupSpec,
     RuntimeSpec,
     SpecValidationError,
+    StateSpec,
 )
 
 
@@ -37,6 +38,7 @@ def full_pipeline_spec() -> PipelineSpec:
         pre_cleanup=PreCleanupSpec(enabled=True, max_component_size=30),
         runtime=RuntimeSpec(workers=2, batch_size=64, executor="thread",
                             blocking_shards=3, profile_cache=False),
+        state=StateSpec(dir="state/companies", autosave=False),
     )
 
 
@@ -97,6 +99,50 @@ class TestSerializationRoundTrip:
             load_spec(path)
 
 
+class TestLoadSpecFailureModes:
+    """The satellite: every load failure is a SpecValidationError naming the
+    path and the supported extensions — never a raw traceback."""
+
+    def test_missing_file_names_path_and_extensions(self, tmp_path):
+        path = tmp_path / "nowhere.toml"
+        with pytest.raises(SpecValidationError) as excinfo:
+            load_spec(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "spec file not found" in message
+        assert ".toml or .json" in message
+        assert not isinstance(excinfo.value, FileNotFoundError)
+
+    def test_directory_is_rejected_not_traceback(self, tmp_path):
+        with pytest.raises(SpecValidationError) as excinfo:
+            load_spec(tmp_path)
+        message = str(excinfo.value)
+        assert str(tmp_path) in message
+        assert "directory" in message
+        assert ".toml or .json" in message
+
+    def test_unknown_suffix_lists_supported_extensions(self, tmp_path):
+        path = tmp_path / "exp.ini"
+        path.write_text("[experiment]\n")
+        with pytest.raises(SpecValidationError) as excinfo:
+            load_spec(path)
+        message = str(excinfo.value)
+        assert "'.ini'" in message
+        assert ".toml or .json" in message
+
+    def test_suffixless_file_names_the_file(self, tmp_path):
+        path = tmp_path / "config"
+        path.write_text("{}")
+        with pytest.raises(SpecValidationError, match="unsupported spec format"):
+            load_spec(path)
+
+    def test_suffix_dispatch_is_case_insensitive(self, tmp_path):
+        spec = full_experiment_spec()
+        path = tmp_path / "EXP.TOML"
+        path.write_text(spec.to_toml())
+        assert load_spec(path) == spec
+
+
 class TestValidationErrorsNameTheKey:
     @pytest.mark.parametrize(
         "document,key",
@@ -115,6 +161,9 @@ class TestValidationErrorsNameTheKey:
             ('[pipeline.runtime]\nblocking_shards = "all"\n', "pipeline.runtime.blocking_shards"),
             ('[pipeline.runtime]\nprofile_cache = "yes"\n', "pipeline.runtime.profile_cache"),
             ("[pipeline.runtime]\nprofile_cache = 1\n", "pipeline.runtime.profile_cache"),
+            ("[pipeline.state]\ndir = 5\n", "pipeline.state.dir"),
+            ('[pipeline.state]\nautosave = "yes"\n', "pipeline.state.autosave"),
+            ('[pipeline.state]\ndirectory = "x"\n', "pipeline.state.directory"),
         ],
     )
     def test_offending_key_is_named(self, document, key):
