@@ -16,10 +16,14 @@ synthetic companies benchmark, in two sections:
     time is included.
 
 * **run_matching** — end-to-end ``PipelineRuntime.run_matching`` throughput
-  with the trained logistic matcher, profile-cache on/off × workers ×
-  executor.  Every off-row's decisions are asserted **bitwise identical**
-  to the matching on-row (same probabilities, same verdicts): the cache
-  trades work for speed, never output.
+  with the trained logistic matcher, profile-cache on/off × warm-pool
+  on/off × workers × executor.  Every row's decisions are asserted
+  **bitwise identical** to the serial profile-cache-on reference (same
+  probabilities, same verdicts): the cache and the pool mode trade work for
+  speed, never output.  Each row records the effective ``cpu_count`` it ran
+  under, and parallel speedup assertions are skipped (and recorded as
+  skipped) when the box has fewer cores than workers — a 2-worker row on a
+  1-core runner measures engine overhead, not parallelism.
 
 The candidate set is the real blocking output (token-overlap + id-overlap),
 topped up with sliding-window pairs until pairs/records >= 10 — the
@@ -316,6 +320,14 @@ def measure_extraction(
     return rows, speedups
 
 
+def effective_cpu_count() -> int:
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def measure_run_matching(
     dataset: Dataset,
     candidates: Sequence[CandidatePair],
@@ -325,50 +337,71 @@ def measure_run_matching(
     batch_size: int,
     repeats: int,
 ) -> list[dict[str, object]]:
-    """Throughput rows for profile-cache on/off × workers × executor.
+    """Throughput rows: profile-cache on/off × warm-pool on/off × workers ×
+    executor.
 
-    Asserts, for every configuration, that cached and uncached decisions are
-    bitwise identical — probabilities compared exactly, not approximately.
+    Asserts, for every configuration, that its decisions are bitwise
+    identical to the serial profile-cache-on reference — probabilities
+    compared exactly, not approximately.  Each row records the effective
+    ``cpu_count`` it ran under: a parallel row measured with fewer cores
+    than workers documents overhead, not speedup, and the reference-number
+    assertions skip it (``speedup_meaningful``).
     """
     rows: list[dict[str, object]] = []
     baseline = None
+    reference = None
+    cpus = effective_cpu_count()
     for workers in worker_counts:
         for executor in executors:
             if workers == 1 and executor != executors[0]:
                 continue  # serial runs don't touch a pool; one row is enough
-            per_cache = {}
-            for profile_cache in (True, False):
-                config = RuntimeConfig(
-                    workers=workers, batch_size=batch_size, executor=executor,
-                    profile_cache=profile_cache,
-                )
-                runtime = PipelineRuntime(config)
-                best = float("inf")
-                decisions = None
-                for _ in range(repeats):
-                    start = time.perf_counter()
-                    decisions = runtime.run_matching(matcher, dataset, candidates)
-                    best = min(best, time.perf_counter() - start)
-                per_cache[profile_cache] = (best, decisions)
-                throughput = len(candidates) / best
-                if baseline is None:
-                    baseline = throughput
-                rows.append({
-                    "Workers": workers,
-                    "Executor": executor if workers > 1 else "serial",
-                    "Profile cache": "on" if profile_cache else "off",
-                    "Pairs / s": round(throughput, 1),
-                    "Speedup": round(throughput / baseline, 2),
-                })
-            cached_decisions = per_cache[True][1]
-            uncached_decisions = per_cache[False][1]
-            assert cached_decisions == uncached_decisions, (
-                f"profile cache changed decisions at workers={workers}, "
-                f"executor={executor}"
-            )
-            assert [d.probability for d in cached_decisions] == [
-                d.probability for d in uncached_decisions
-            ], "probabilities drifted between cached and uncached inference"
+            for warm_pool in (True, False):
+                if workers == 1 and not warm_pool:
+                    continue  # no pool either way; one serial row is enough
+                for profile_cache in (True, False):
+                    config = RuntimeConfig(
+                        workers=workers, batch_size=batch_size,
+                        executor=executor, profile_cache=profile_cache,
+                        warm_pool=warm_pool,
+                    )
+                    runtime = PipelineRuntime(config)
+                    try:
+                        best = float("inf")
+                        decisions = None
+                        for _ in range(repeats):
+                            start = time.perf_counter()
+                            decisions = runtime.run_matching(
+                                matcher, dataset, candidates
+                            )
+                            best = min(best, time.perf_counter() - start)
+                    finally:
+                        runtime.close()
+                    if reference is None:
+                        reference = decisions
+                    assert decisions == reference, (
+                        f"decisions drifted at workers={workers}, "
+                        f"executor={executor}, warm_pool={warm_pool}, "
+                        f"profile_cache={profile_cache}"
+                    )
+                    assert [d.probability for d in decisions] == [
+                        d.probability for d in reference
+                    ], "probabilities drifted from the serial reference"
+                    throughput = len(candidates) / best
+                    if baseline is None:
+                        baseline = throughput
+                    rows.append({
+                        "Workers": workers,
+                        "Executor": executor if workers > 1 else "serial",
+                        "Warm pool": "on" if warm_pool else "off",
+                        "Profile cache": "on" if profile_cache else "off",
+                        "Pairs / s": round(throughput, 1),
+                        "Speedup": round(throughput / baseline, 2),
+                        "cpu_count": cpus,
+                        # A 2-worker row on a 1-core box measures overhead,
+                        # not parallel speedup — consumers must not gate on
+                        # it.
+                        "speedup_meaningful": workers <= cpus,
+                    })
     return rows
 
 
@@ -403,7 +436,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     candidates = build_candidates(dataset, args.min_ratio)
     ratio = len(candidates) / len(dataset)
     print(f"workload: {len(dataset)} records, {len(candidates)} candidate pairs "
-          f"(pairs/records = {ratio:.1f}), {os.cpu_count()} cpu core(s)")
+          f"(pairs/records = {ratio:.1f}), {effective_cpu_count()} cpu core(s)")
 
     matcher = train_matcher(dataset)
     extraction_rows, speedups = measure_extraction(dataset, candidates, args.repeats)
@@ -413,10 +446,38 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     print(format_table(extraction_rows, title="Feature extraction — single process"))
-    print(format_table(matching_rows, title="run_matching — profile cache on/off"))
+    print(format_table(matching_rows, title="run_matching — warm pool / profile cache"))
     print(f"profile store speedup: {speedups['profile_store_vs_seed']:.2f}x vs seed, "
           f"{speedups['profile_store_vs_per_pair']:.2f}x vs --no-profile-cache")
-    print("determinism: cached == uncached probabilities, bitwise — OK")
+    print("determinism: every configuration == serial reference, bitwise — OK")
+
+    # Parallel speedup is only a meaningful claim when the box actually has
+    # the cores: on cpu_count < workers the same rows measure pure engine
+    # overhead and the assertion is recorded as skipped instead of failed.
+    speedup_checks: list[dict[str, object]] = []
+    for row in matching_rows:
+        if row["Workers"] == 1 or row["Warm pool"] != "on" or row["Profile cache"] != "on":
+            continue
+        check = {
+            "workers": row["Workers"],
+            "executor": row["Executor"],
+            "speedup": row["Speedup"],
+            "cpu_count": row["cpu_count"],
+        }
+        if not row["speedup_meaningful"]:
+            check["status"] = "skipped (cpu_count < workers)"
+            print(f"speedup assertion skipped: {row['Workers']} {row['Executor']} "
+                  f"workers on {row['cpu_count']} core(s)")
+        elif args.quick:
+            check["status"] = "skipped (quick run)"
+        else:
+            assert row["Speedup"] >= 1.0, (
+                f"warm-pool parallel matching lost to serial: "
+                f"{row['Speedup']}x at workers={row['Workers']}, "
+                f"executor={row['Executor']} on {row['cpu_count']} core(s)"
+            )
+            check["status"] = "asserted >= 1.0x"
+        speedup_checks.append(check)
 
     if not args.quick:
         assert ratio >= 10.0, f"candidate set too thin: pairs/records = {ratio:.1f}"
@@ -437,14 +498,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             "pairs_per_record": round(ratio, 2),
             "batch_size": args.batch_size,
             "repeats": args.repeats,
-            "cpu_count": os.cpu_count(),
+            "cpu_count": effective_cpu_count(),
         },
         "extraction": {
             "rows": extraction_rows,
             "speedups": {key: round(value, 3) for key, value in speedups.items()},
         },
-        "run_matching": {"rows": matching_rows},
-        "determinism": {"cached_equals_uncached_bitwise": True},
+        "run_matching": {
+            "rows": matching_rows,
+            "parallel_speedup_checks": speedup_checks,
+        },
+        "determinism": {"all_configs_equal_serial_bitwise": True},
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     filename = "BENCH_matching_quick.json" if args.quick else "BENCH_matching.json"

@@ -101,6 +101,12 @@ def build_pipeline(
     (:func:`run_experiment`) injects the ground-truth oracle automatically.
     Pass an :class:`ExperimentSpec` to inherit its kind-derived defaults,
     or a bare :class:`PipelineSpec` for full manual control.
+
+    The returned pipeline owns its execution runtime: under a parallel
+    ``[pipeline.runtime]`` with the (default) warm pool, worker processes
+    persist across :meth:`~repro.core.pipeline.EntityGroupMatchingPipeline.run`
+    calls — call ``pipeline.close()`` when done, or use the pipeline as a
+    context manager.
     """
     from repro.core.pipeline import EntityGroupMatchingPipeline
 
@@ -183,7 +189,11 @@ def open_state(
     groups byte for byte.  With ``save`` (default) the fresh state is
     persisted to ``state_dir`` immediately.
 
-    Returns an :class:`~repro.incremental.IncrementalMatcher`.
+    Returns an :class:`~repro.incremental.IncrementalMatcher`.  Under a
+    parallel runtime the matcher keeps one warm worker pool (and the
+    shipped profile store) alive *across* :func:`ingest` calls — that is
+    what makes multi-batch ingestion fast — so close it when done
+    (``matcher.close()``) or use it as a context manager.
     """
     from repro.evaluation.experiment import EntityGroupMatchingExperiment
     from repro.incremental import IncrementalMatcher, is_state_dir

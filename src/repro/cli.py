@@ -80,6 +80,7 @@ _RUNTIME_FLAG_KEYS = (
     "executor",
     "blocking_shards",
     "profile_cache",
+    "warm_pool",
 )
 
 
@@ -109,6 +110,13 @@ def _add_runtime_flags(parser: argparse.ArgumentParser, *, overrides: bool) -> N
                              "profiles prepared once per run (byte-identical "
                              "output either way; --no-profile-cache forces the "
                              "per-pair recompute path)")
+    parser.add_argument("--warm-pool", action=argparse.BooleanOptionalAction,
+                        default=None if overrides else True,
+                        help="keep one persistent worker pool across pipeline "
+                             "stages and ingest batches, shipping shared state "
+                             "once per revision (byte-identical output either "
+                             "way; --no-warm-pool restores the pool-per-call "
+                             "engine)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -276,6 +284,7 @@ def _command_match(args: argparse.Namespace) -> int:
                     executor=args.executor,
                     blocking_shards=args.blocking_shards,
                     profile_cache=args.profile_cache,
+                    warm_pool=args.warm_pool,
                 ),
             ),
         )
@@ -369,6 +378,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
 
     save = not args.no_save
     autosave = save and (spec is None or spec.pipeline.state.autosave)
+    matcher = None
     try:
         if is_state_dir(state_dir):
             if args.train_dataset is not None:
@@ -434,6 +444,11 @@ def _command_ingest(args: argparse.Namespace) -> int:
     except (MatchStateError, SpecValidationError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        # The warm pool deliberately stays live *across* the batch loop (the
+        # whole point of this command's speed), released once here.
+        if matcher is not None:
+            matcher.close()
     if args.groups_out is not None:
         written = write_groups_json(matcher.groups, args.groups_out)
         print(f"wrote {len(matcher.groups)} groups to {written}")

@@ -124,6 +124,26 @@ class EntityGroupMatchingPipeline:
             list(stages) if stages is not None else self.default_stages()
         )
 
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the runtime's persistent worker pool (if any was spawned).
+
+        Safe to call on serial pipelines (no-op) and more than once; the
+        pipeline stays usable — a later :meth:`run` respawns the pool
+        lazily.  Use the context-manager form for scoped lifetimes::
+
+            with EntityGroupMatchingPipeline(matcher, blocking, runtime=cfg) as p:
+                result = p.run(dataset)
+        """
+        self.runtime.close()
+
+    def __enter__(self) -> "EntityGroupMatchingPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def default_stages(self) -> list[PipelineStage]:
         """The Figure 1 stage sequence for this pipeline's components."""
         return [

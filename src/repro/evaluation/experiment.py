@@ -203,7 +203,12 @@ class EntityGroupMatchingExperiment:
         """Fine-tune the model and run the end-to-end matching."""
         spec = resolve_model_spec(model or self.config.model)
         pipeline = self._assemble_pipeline(spec)
-        result = pipeline.run(self.dataset)
+        try:
+            result = pipeline.run(self.dataset)
+        finally:
+            # The pipeline (and its warm worker pool) lives for this one
+            # run; closing is lazy-respawn-safe even for shared runtimes.
+            pipeline.close()
         return self._score(spec, pipeline.cleanup_config, result)
 
     def build_pipeline(

@@ -200,6 +200,25 @@ class IncrementalMatcher:
         self.state_dir = self.state.save(target)
         return self.state_dir
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the runtime's persistent worker pool.
+
+        The warm pool (and the shipped profile store) stays live *between*
+        :meth:`ingest` batches on purpose — that is the whole point of the
+        warm pool — so call this when done ingesting, or use the matcher as
+        a context manager.  The matcher stays usable afterwards; the next
+        parallel ingest respawns the pool.
+        """
+        self.runtime.close()
+
+    def __enter__(self) -> "IncrementalMatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- results -------------------------------------------------------------
 
     @property

@@ -12,9 +12,10 @@ distances, set intersections, equality checks).
 A :class:`ProfileStore` maps record ids to profiles and mirrors the
 two-phase protocol of the sharded blocking layer: ``prepare(dataset)`` runs
 once in the parent process, the (picklable) store ships to process-pool
-workers through the pool-initializer path, and the per-chunk task payload
-shrinks to bare id pairs — record objects are no longer re-pickled per
-batch.
+workers out of band — once per store revision under the warm pool's epoch
+protocol, once per worker via the cold-pool initializer — and the per-chunk
+task payload shrinks to bare id pairs — record objects are no longer
+re-pickled per batch.
 
 The contract that makes this safe: scoring from profiles is **byte
 identical** to recomputing from the records, because a profile stores the
@@ -175,8 +176,7 @@ class ProfileStore:
 
     The matching counterpart of the blocking layer's prepared shared state:
     built in the parent by :meth:`prepare`, shipped to every process-pool
-    worker once (via the pool initializer), and read by id from the
-    per-chunk scoring tasks.  Stores are picklable; they only ever grow
+    worker out of band, and read by id from the per-chunk scoring tasks.  Stores are picklable; they only ever grow
     (:meth:`add_records` appends profiles for newly ingested records —
     existing profiles are never mutated or replaced).
 
@@ -192,10 +192,20 @@ class ProfileStore:
     own as it scores.
     """
 
-    __slots__ = ("_profiles", "name_similarity_cache", "stripped_similarity_cache")
+    __slots__ = (
+        "_profiles",
+        "revision",
+        "name_similarity_cache",
+        "stripped_similarity_cache",
+    )
 
     def __init__(self, profiles: Mapping[str, RecordProfile]) -> None:
         self._profiles = dict(profiles)
+        #: Content revision, bumped whenever :meth:`add_records` grows the
+        #: store.  The warm pool's epoch protocol compares it to decide
+        #: whether an already-shipped store is still current — a store
+        #: therefore ships once per revision, not once per matching call.
+        self.revision = 0
         #: (name_norm, name_norm) → (jaro_winkler, levenshtein, lcs) triples.
         self.name_similarity_cache: dict[tuple[str, str], tuple[float, float, float]] = {}
         #: (stripped_name, stripped_name) → jaro_winkler.
@@ -229,6 +239,8 @@ class ProfileStore:
             if record.record_id not in self._profiles:
                 self._profiles[record.record_id] = build_profile(record)
                 added += 1
+        if added:
+            self.revision += 1
         return added
 
     def get(self, record_id: str) -> RecordProfile:

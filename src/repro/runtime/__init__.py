@@ -13,6 +13,7 @@ the regression suite pins this on a golden dataset.
 
 from repro.runtime.config import EXECUTOR_KINDS, RuntimeConfig
 from repro.runtime.engine import PipelineRuntime
+from repro.runtime.pool import PoolStats, WorkerPool
 from repro.runtime.profiler import StageProfiler
 from repro.runtime.scheduler import ChunkScheduler, chunked, even_spans, split_evenly
 
@@ -20,8 +21,10 @@ __all__ = [
     "EXECUTOR_KINDS",
     "RuntimeConfig",
     "PipelineRuntime",
+    "PoolStats",
     "StageProfiler",
     "ChunkScheduler",
+    "WorkerPool",
     "chunked",
     "even_spans",
     "split_evenly",

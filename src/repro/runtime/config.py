@@ -14,7 +14,11 @@ and pairwise inference) into chunks and fans them out over a
 * ``profile_cache`` lets profile-capable matchers score pairwise inference
   from per-record feature profiles prepared once per run (and shipped to
   workers once), instead of re-deriving record-local state for both sides
-  of every pair.
+  of every pair,
+* ``warm_pool`` keeps one persistent worker pool alive across stage calls,
+  pipeline runs and ingest batches, shipping shared payloads through the
+  epoch protocol (once per state revision) instead of re-spawning the pool
+  and re-pickling the payload per call.
 """
 
 from __future__ import annotations
@@ -57,6 +61,15 @@ class RuntimeConfig:
     #: knob trades memory for speed, never results.  Matchers without
     #: profile support fall back to the record-pair path automatically.
     profile_cache: bool = True
+    #: Keep one persistent worker pool per runtime, spawned lazily and
+    #: reused across stage calls, pipeline runs and incremental-ingest
+    #: batches; shared payloads (profile store + matcher, blocking shared
+    #: index) ship to process workers through the epoch protocol — pickled
+    #: once per state revision, cached worker-side — instead of riding the
+    #: pool initializer on every call.  ``False`` restores the historical
+    #: pool-per-call engine.  Results are byte-identical either way; this
+    #: knob trades resident worker processes for latency, never results.
+    warm_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -76,6 +89,10 @@ class RuntimeConfig:
         if not isinstance(self.profile_cache, bool):
             raise ValueError(
                 f"profile_cache must be a boolean, got {self.profile_cache!r}"
+            )
+        if not isinstance(self.warm_pool, bool):
+            raise ValueError(
+                f"warm_pool must be a boolean, got {self.warm_pool!r}"
             )
 
     @property

@@ -22,10 +22,18 @@ data-parallel stages here:
   per chunk under the parallel engine.  When the matcher is profile-capable
   and ``profile_cache`` is on (the default), the matcher's
   :meth:`~repro.matching.base.PairwiseMatcher.prepare_profiles` runs once
-  here in the parent, the store rides to each worker through the pool
-  initializer, and the per-chunk payload shrinks to bare id pairs — record
-  objects are no longer re-pickled per batch, and record-local feature
-  derivations happen once per record instead of once per pair side.
+  here in the parent, the store ships to each worker out of band — via the
+  warm pool's epoch protocol (once per state revision) or, under
+  ``warm_pool=False``, via the per-call pool initializer — and the
+  per-chunk payload shrinks to bare id pairs: record objects are no longer
+  re-pickled per batch, and record-local feature derivations happen once
+  per record instead of once per pair side.
+
+The runtime owns one persistent :class:`~repro.runtime.pool.WorkerPool`
+(via its scheduler) when ``warm_pool`` is on: spawned lazily on the first
+parallel stage, reused across stage calls, pipeline runs and incremental
+batches, released by :meth:`PipelineRuntime.close` (or the context-manager
+protocol) — after which the next parallel call simply respawns it.
 
 Determinism guarantee: chunk results are merged in submission order, every
 matcher decision depends only on its own record pair, and the chunking — the
@@ -90,8 +98,9 @@ class _BlockingPlan:
     shared state (``None`` for parts running unsharded), ``records`` the
     dataset's records (present when any task is sharded), ``dataset`` the
     full dataset (present only when some part runs unsharded).  Everything
-    bulky rides here — via the process-pool initializer this is pickled
-    once per *worker* — so the per-task payload is just a pair of indexes.
+    bulky rides here — shipped to process workers out of band (pickled once
+    per epoch under the warm pool, once per worker via the cold-pool
+    initializer) — so the per-task payload is just a pair of indexes.
     """
 
     parts: tuple[Blocking, ...]
@@ -154,6 +163,32 @@ class PipelineRuntime:
     def __init__(self, config: RuntimeConfig | None = None) -> None:
         self.config = config or RuntimeConfig()
         self.scheduler = ChunkScheduler(self.config)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent worker pool and its published payloads.
+
+        Idempotent and non-terminal: the next parallel stage call lazily
+        respawns a fresh pool.  Serial runtimes never spawn a pool, so this
+        is a no-op for them.
+        """
+        self.scheduler.close()
+
+    def __enter__(self) -> "PipelineRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def pool_stats(self) -> dict[str, int] | None:
+        """Snapshot of the warm pool's cost counters (``None`` if no pool).
+
+        Exposes spawn/publish/fetch counts so benchmarks and tests can
+        prove that pools spawn once and payloads ship once per revision.
+        """
+        pool = self.scheduler.pool
+        return None if pool is None else pool.stats.snapshot()
 
     # -- candidate generation ----------------------------------------------
 
@@ -228,7 +263,7 @@ class PipelineRuntime:
         record's owned candidate pairs — one tuple per record, aligned with
         ``records``.  Spans of records fan out over the pool exactly like
         sharded candidate generation (``blocking_shards`` tasks, shared
-        state via the initializer path), and per-record outputs are sliced
+        state shipped out of band), and per-record outputs are sliced
         worker-side so the parent can splice them into a persistent
         record → candidates map.
         """
@@ -271,8 +306,8 @@ class PipelineRuntime:
 
         * **profiled** (``profile_cache`` on, matcher ``profile_capable``) —
           the matcher prepares its per-record profiles once, matcher + store
-          ship to each worker via the initializer, chunk payloads are bare
-          id pairs;
+          ship to each worker out of band (epoch protocol or initializer),
+          chunk payloads are bare id pairs;
         * **record pairs** (fallback) — chunk payloads are the record
           objects themselves, resolved here in the parent.
 
@@ -311,6 +346,14 @@ class PipelineRuntime:
                 stage="pairwise_matching",
                 profiler=profiler,
                 shared=plan,
+                # Epoch identity: the same matcher + the same store at the
+                # same revision means the already-published plan is current,
+                # so consecutive calls (incremental batches reusing the
+                # persistent store) skip re-pickling it.  Stores without a
+                # revision counter get a fresh sentinel per call — always
+                # republished, never stale.
+                shared_anchors=(matcher, profiles),
+                shared_version=getattr(profiles, "revision", object()),
             )
         else:
             pair_batches: list[list[RecordPair]] = [
@@ -326,6 +369,10 @@ class PipelineRuntime:
                 stage="pairwise_matching",
                 profiler=profiler,
                 shared=matcher,
+                # The matcher itself is the payload: the same matcher object
+                # is current across calls (fitted models are not re-fit
+                # between runs in the built-in flows).
+                shared_anchors=(matcher,),
             )
         decisions: list[MatchDecision] = []
         for batch in decided:

@@ -7,6 +7,25 @@ indistinguishable from serial execution for any per-chunk-pure function.
 Out-of-order completion never leaks into results, which is what makes the
 parallel pipeline byte-identical to the serial one.
 
+Two pooled execution modes exist, selected by ``RuntimeConfig.warm_pool``:
+
+* **warm** (the default) — one persistent :class:`~repro.runtime.pool.WorkerPool`
+  per scheduler, spawned lazily, sized once from ``config.workers`` and
+  reused across calls; shared payloads ship to process workers through the
+  epoch protocol (pickled once per payload revision, fetched and cached
+  worker-side), thread workers read them by reference,
+* **cold** (``warm_pool=False``) — the historical behaviour: a fresh
+  executor per call, sized ``min(workers, num_tasks)``, shared payloads
+  shipped through the process-pool initializer.
+
+Both modes produce byte-identical results; the golden suites sweep them.
+
+Failure protocol (both modes): the first worker exception — earliest by
+submission order among the failed tasks — is re-raised as-is, every not-yet
+-running task is cancelled, and the pool is shut down (``cancel_futures``)
+so no in-flight chunk outlives the call that submitted it.  A warm pool is
+disposed, not closed: the next call respawns fresh workers.
+
 Worker functions used with the process pool must be picklable: module-level
 functions (optionally wrapped in :func:`functools.partial`) qualify,
 closures and lambdas do not.
@@ -15,12 +34,20 @@ closures and lambdas do not.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from functools import partial
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
 from repro.runtime.config import RuntimeConfig
+from repro.runtime.pool import WorkerPool, load_epoch_payload
 from repro.runtime.profiler import StageProfiler
 
 T = TypeVar("T")
@@ -88,9 +115,9 @@ def timed_call(fn: Callable[[T], R], chunk: T) -> tuple[R, float]:
     return result, time.perf_counter() - start
 
 
-#: Per-worker shared state installed by the process-pool initializer, so a
-#: large shared object (a matcher with weight matrices, a dataset) is
-#: pickled once per *worker* instead of once per *chunk task*.
+#: Per-worker shared state installed by the process-pool initializer (cold
+#: mode only), so a large shared object is pickled once per *worker*
+#: instead of once per *chunk task*.
 _worker_shared: Any = None
 
 
@@ -100,8 +127,22 @@ def _install_shared(value: Any) -> None:
 
 
 def _timed_shared_call(fn: Callable[[Any, T], R], chunk: T) -> tuple[R, float]:
-    """Worker task: ``fn(shared, chunk)`` with the per-worker shared state."""
+    """Cold-mode worker task: ``fn(shared, chunk)`` with initializer state."""
     return timed_call(partial(fn, _worker_shared), chunk)
+
+
+def _timed_epoch_call(
+    fn: Callable[[Any, T], R], slot: str, epoch: int, path: str, chunk: T
+) -> tuple[R, float, bool]:
+    """Warm-mode worker task: fetch the epoch payload, then ``fn(payload, chunk)``.
+
+    Returns ``(result, seconds, fetched)`` — ``fetched`` tells the parent
+    whether this task actually loaded the payload (at most once per worker
+    per epoch) or served it from the worker's cache.
+    """
+    payload, fetched = load_epoch_payload(slot, epoch, path)
+    result, seconds = timed_call(partial(fn, payload), chunk)
+    return result, seconds, fetched
 
 
 class ChunkScheduler:
@@ -109,14 +150,49 @@ class ChunkScheduler:
 
     def __init__(self, config: RuntimeConfig | None = None) -> None:
         self.config = config or RuntimeConfig()
+        self._pool: WorkerPool | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The persistent pool (``None`` until the first warm pooled call)."""
+        return self._pool
+
+    def warm_pool(self) -> WorkerPool:
+        """The persistent pool, created lazily — once per scheduler.
+
+        Sized from ``config.workers`` exactly; never resized or rebuilt
+        because a call happens to carry fewer chunks than there are slots.
+        """
+        if self._pool is None:
+            self._pool = WorkerPool(self.config.executor, self.config.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down and drop all published payloads.
+
+        Idempotent, and never terminal: the next pooled call lazily creates
+        a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ChunkScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- executors ---------------------------------------------------------
 
     def _make_executor(self, num_tasks: int, initializer_state: Any = None) -> Executor:
-        # The pool lives for one map_chunks call: the process-pool
-        # initializer binds the workers to this call's shared state, so a
-        # longer-lived pool would serve stale state to the next stage.
-        # (Persistent pools across runs are a ROADMAP item.)
+        # Cold mode only: the pool lives for one map_chunks call, and the
+        # process-pool initializer binds the workers to this call's shared
+        # state.  The per-call ``min(workers, num_tasks)`` clamp is safe
+        # here precisely because the pool is discarded afterwards — a warm
+        # pool is sized once from the config instead (see WorkerPool).
         workers = min(self.config.workers, num_tasks)
         if self.config.executor == "process":
             if initializer_state is not None:
@@ -141,14 +217,23 @@ class ChunkScheduler:
         stage: str | None = None,
         profiler: StageProfiler | None = None,
         shared: Any = None,
+        shared_anchors: tuple[Any, ...] | None = None,
+        shared_version: Any = None,
+        slot: str | None = None,
     ) -> list[Any]:
         """Apply ``fn`` to every chunk, preserving chunk order.
 
         Without ``shared``, ``fn`` is called as ``fn(chunk)``.  With
         ``shared``, ``fn`` is called as ``fn(shared, chunk)`` and the shared
-        object is shipped to each process-pool worker exactly once (via the
-        pool initializer) instead of riding along with every chunk task —
-        thread and serial execution pass it by reference for free.
+        object ships to process-pool workers out of band — via the epoch
+        protocol under a warm pool (pickled once per payload revision), via
+        the pool initializer in cold mode (once per worker per call) —
+        while thread and serial execution pass it by reference for free.
+
+        ``shared_anchors`` / ``shared_version`` identify the payload's
+        revision for epoch reuse (see :meth:`WorkerPool.publish`); ``slot``
+        names the payload family (defaults to ``stage``), so consecutive
+        calls for the same stage can reuse a still-current payload.
 
         With ``stage`` and ``profiler`` set, each chunk's in-worker duration
         is recorded via :meth:`StageProfiler.record_chunk`.  Serial execution
@@ -161,28 +246,128 @@ class ChunkScheduler:
             results = []
             for chunk in chunks:
                 result, seconds = timed_call(bound, chunk)
-                if profiler is not None and stage is not None:
-                    profiler.record_chunk(stage, seconds)
+                self._record(profiler, stage, seconds)
                 results.append(result)
             return results
+        if self.config.warm_pool:
+            return self._map_warm(
+                fn, bound, chunks, stage, profiler, shared,
+                shared_anchors, shared_version, slot or stage or "shared",
+            )
+        return self._map_cold(fn, bound, chunks, stage, profiler, shared)
 
+    # -- warm mode ---------------------------------------------------------
+
+    def _map_warm(
+        self,
+        fn: Callable[..., Any],
+        bound: Callable[..., Any],
+        chunks: Sequence[Any],
+        stage: str | None,
+        profiler: StageProfiler | None,
+        shared: Any,
+        shared_anchors: tuple[Any, ...] | None,
+        shared_version: Any,
+        slot: str,
+    ) -> list[Any]:
+        pool = self.warm_pool()
+        executor = pool.executor
+        # Only process pools need payloads shipped; threads share memory.
+        use_epochs = shared is not None and self.config.executor == "process"
+        if use_epochs:
+            published = pool.publish(
+                slot, shared, anchors=shared_anchors, version=shared_version
+            )
+            futures: list[Future] = [
+                executor.submit(
+                    _timed_epoch_call,
+                    fn, slot, published.epoch, published.path, chunk,
+                )
+                for chunk in chunks
+            ]
+        else:
+            futures = [executor.submit(timed_call, bound, chunk) for chunk in chunks]
+        raw = self._collect(futures, on_error=lambda: pool.dispose(cancel=True))
+        results = []
+        for item in raw:
+            if use_epochs:
+                result, seconds, fetched = item
+                pool.record_fetches(int(fetched))
+            else:
+                result, seconds = item
+            self._record(profiler, stage, seconds)
+            results.append(result)
+        return results
+
+    # -- cold mode (per-call pools, the pre-warm-pool behaviour) -----------
+
+    def _map_cold(
+        self,
+        fn: Callable[..., Any],
+        bound: Callable[..., Any],
+        chunks: Sequence[Any],
+        stage: str | None,
+        profiler: StageProfiler | None,
+        shared: Any,
+    ) -> list[Any]:
         # Decided once: process pools receive `shared` through the worker
         # initializer (pickled once per worker) and tasks fetch it from
         # worker state; all other routes carry it by reference via `bound`.
         use_initializer = shared is not None and self.config.executor == "process"
-        with self._make_executor(
+        executor = self._make_executor(
             len(chunks), initializer_state=shared if use_initializer else None
-        ) as executor:
+        )
+        try:
             futures: list[Future] = [
                 executor.submit(_timed_shared_call, fn, chunk)
                 if use_initializer
                 else executor.submit(timed_call, bound, chunk)
                 for chunk in chunks
             ]
+            raw = self._collect(
+                futures,
+                on_error=lambda: executor.shutdown(wait=True, cancel_futures=True),
+            )
             results = []
-            for future in futures:  # submission order, not completion order
-                result, seconds = future.result()
-                if profiler is not None and stage is not None:
-                    profiler.record_chunk(stage, seconds)
+            for result, seconds in raw:
+                self._record(profiler, stage, seconds)
                 results.append(result)
             return results
+        finally:
+            executor.shutdown(wait=True)
+
+    # -- shared plumbing ---------------------------------------------------
+
+    @staticmethod
+    def _record(profiler: StageProfiler | None, stage: str | None, seconds: float) -> None:
+        if profiler is not None and stage is not None:
+            profiler.record_chunk(stage, seconds)
+
+    @staticmethod
+    def _collect(futures: list[Future], on_error: Callable[[], None]) -> list[Any]:
+        """Drain futures in submission order, with the failure protocol.
+
+        On success, returns every result in submission order.  On failure,
+        cancels everything still pending, shuts the pool down via
+        ``on_error`` and re-raises the *first worker exception* — earliest
+        by submission order among the failed tasks — rather than whatever
+        ``Future.result`` would have surfaced first.
+        """
+        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+        if any(not f.cancelled() and f.exception() is not None for f in done):
+            # Cancel everything still queued, let already-running tasks
+            # drain, then pick the earliest failure by *submission* order —
+            # completion order must not decide which exception surfaces.
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            failure = next(
+                future.exception()
+                for future in futures
+                if future.done()
+                and not future.cancelled()
+                and future.exception() is not None
+            )
+            on_error()
+            raise failure
+        return [future.result() for future in futures]

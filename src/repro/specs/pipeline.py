@@ -151,6 +151,7 @@ class RuntimeSpec:
     executor: str = "process"
     blocking_shards: int = 1
     profile_cache: bool = True
+    warm_pool: bool = True
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {}
@@ -164,6 +165,8 @@ class RuntimeSpec:
             data["blocking_shards"] = self.blocking_shards
         if not self.profile_cache:
             data["profile_cache"] = False
+        if not self.warm_pool:
+            data["warm_pool"] = False
         return data
 
     @classmethod
@@ -171,7 +174,14 @@ class RuntimeSpec:
         table = _expect_table(data, key)
         _reject_unknown_keys(
             table,
-            {"workers", "batch_size", "executor", "blocking_shards", "profile_cache"},
+            {
+                "workers",
+                "batch_size",
+                "executor",
+                "blocking_shards",
+                "profile_cache",
+                "warm_pool",
+            },
             key,
         )
         executor = _expect_str(table.get("executor", "process"), f"{key}.executor")
@@ -191,6 +201,9 @@ class RuntimeSpec:
             profile_cache=_expect_bool(
                 table.get("profile_cache", True), f"{key}.profile_cache"
             ),
+            warm_pool=_expect_bool(
+                table.get("warm_pool", True), f"{key}.warm_pool"
+            ),
         )
 
     def to_runtime_config(self):
@@ -202,6 +215,7 @@ class RuntimeSpec:
             executor=self.executor,
             blocking_shards=self.blocking_shards,
             profile_cache=self.profile_cache,
+            warm_pool=self.warm_pool,
         )
 
 

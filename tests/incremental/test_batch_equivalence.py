@@ -70,6 +70,81 @@ class TestPartitionInvariance:
         assert_equals_batch(matcher, batch_result)
 
 
+#: The warm-pool sweep axes: executor flavour × pool mode.  ``serial`` never
+#: spawns a pool, so warm/cold is a no-op there — included to pin exactly
+#: that.
+WARM_SWEEP = [
+    pytest.param(RuntimeConfig(batch_size=64, warm_pool=warm), id=f"serial-{mode}")
+    for warm, mode in ((True, "warm"), (False, "cold"))
+] + [
+    pytest.param(
+        RuntimeConfig(
+            workers=2, batch_size=64, executor=executor,
+            blocking_shards=4, warm_pool=warm,
+        ),
+        id=f"{executor}-{mode}",
+    )
+    for executor in ("thread", "process")
+    for warm, mode in ((True, "warm"), (False, "cold"))
+]
+
+
+@pytest.mark.parametrize("runtime", WARM_SWEEP)
+@pytest.mark.parametrize("num_batches", [1, 2, 7])
+class TestWarmPoolInvariance:
+    def test_pool_mode_is_invisible_in_the_artefacts(
+        self, golden_setup, pipeline_factory, batch_result, runtime, num_batches
+    ):
+        """Warm-pool {on,off} × executor × partition → byte-identical output.
+
+        The persistent pool and the epoch protocol only change *where* work
+        runs and *how* shared state travels — candidates, decisions and
+        groups must match the one-shot batch run exactly in every mode.
+        """
+        companies, _ = golden_setup
+        batches = partition_records(companies.records, num_batches)
+        matcher = ingest_in_batches(pipeline_factory, batches, runtime)
+        try:
+            assert_equals_batch(matcher, batch_result)
+        finally:
+            matcher.close()
+
+
+class TestWarmPoolAcrossBatches:
+    def test_one_pool_and_one_store_ship_per_revision(
+        self, golden_setup, pipeline_factory, batch_result
+    ):
+        """The warm pool's cost structure across a multi-batch ingest.
+
+        The pool spawns once for the whole ingest sequence, and the
+        persistent profile store is re-shipped only when a batch actually
+        grows it (one revision per growing ingest) — never once per
+        map_chunks call.
+        """
+        companies, _ = golden_setup
+        runtime = RuntimeConfig(
+            workers=2, batch_size=64, executor="process", blocking_shards=4
+        )
+        batches = partition_records(companies.records, 3)
+        matcher = IncrementalMatcher.from_pipeline(
+            pipeline_factory(runtime), name="golden"
+        )
+        try:
+            spawns_seen = []
+            for batch in batches:
+                matcher.ingest(batch)
+                spawns_seen.append(matcher.runtime.pool_stats()["spawns"])
+            assert spawns_seen == [1, 1, 1]  # one pool for all batches
+            # The profiled matching payload ships once per store revision:
+            # batch 1 creates the store (revision 0), batches 2 and 3 each
+            # grow it once.
+            store = matcher.state.profiles
+            assert store is not None and store.revision == 2
+            assert_equals_batch(matcher, batch_result)
+        finally:
+            matcher.close()
+
+
 class TestRecordAtATime:
     def test_single_record_tail_matches_the_batch_run(
         self, golden_setup, pipeline_factory, batch_result

@@ -37,7 +37,8 @@ def full_pipeline_spec() -> PipelineSpec:
         cleanup=CleanupSpec(strategy="gralmatch", gamma=20, mu=4),
         pre_cleanup=PreCleanupSpec(enabled=True, max_component_size=30),
         runtime=RuntimeSpec(workers=2, batch_size=64, executor="thread",
-                            blocking_shards=3, profile_cache=False),
+                            blocking_shards=3, profile_cache=False,
+                            warm_pool=False),
         state=StateSpec(dir="state/companies", autosave=False),
     )
 
@@ -161,6 +162,8 @@ class TestValidationErrorsNameTheKey:
             ('[pipeline.runtime]\nblocking_shards = "all"\n', "pipeline.runtime.blocking_shards"),
             ('[pipeline.runtime]\nprofile_cache = "yes"\n', "pipeline.runtime.profile_cache"),
             ("[pipeline.runtime]\nprofile_cache = 1\n", "pipeline.runtime.profile_cache"),
+            ('[pipeline.runtime]\nwarm_pool = "yes"\n', "pipeline.runtime.warm_pool"),
+            ("[pipeline.runtime]\nwarm_pool = 0\n", "pipeline.runtime.warm_pool"),
             ("[pipeline.state]\ndir = 5\n", "pipeline.state.dir"),
             ('[pipeline.state]\nautosave = "yes"\n', "pipeline.state.autosave"),
             ('[pipeline.state]\ndirectory = "x"\n', "pipeline.state.directory"),
@@ -206,7 +209,8 @@ class TestBuildPipelineEquivalence:
             cleanup_config=CleanupConfig(gamma=20, mu=4),
             pre_cleanup_config=PreCleanupConfig(enabled=True, max_component_size=30),
             runtime=RuntimeConfig(workers=2, batch_size=64, executor="thread",
-                                  blocking_shards=3, profile_cache=False),
+                                  blocking_shards=3, profile_cache=False,
+                                  warm_pool=False),
         )
         spec = full_pipeline_spec()
         text = getattr(spec, f"to_{fmt}")()
