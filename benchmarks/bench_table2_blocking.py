@@ -63,7 +63,7 @@ def test_table2_blocking_statistics(benchmark, dataset_registry, save_table):
     # Shape checks mirroring Table 2: candidate pairs are a small multiple of
     # the record count (not quadratic), mu equals the number of sources, and
     # the securities recipes use the Issuer Match blocking.
-    for name, row in by_name.items():
+    for row in by_name.values():
         assert row["# of Candidate Pairs"] < row["# of Records"] ** 2 / 4
     assert by_name["synthetic-companies"]["mu"] == 5
     assert by_name["real-companies"]["mu"] == 8

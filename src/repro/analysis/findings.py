@@ -1,0 +1,50 @@
+"""Lint findings: the one value every rule produces.
+
+A :class:`Finding` pins a rule violation to a file position.  Findings are
+plain frozen data so the engine can sort, deduplicate, serialise (``--format
+json``) and baseline-filter them without knowing anything about the rules
+that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Rule name used for engine-level problems (unparseable files, suppression
+#: comments naming unknown rules).  Not a registered rule: it cannot be
+#: selected, ignored or suppressed — a broken input must never lint clean.
+ENGINE_RULE = "lint-error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position (1-based line/column)."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def format_text(self) -> str:
+        """The human-readable ``path:line:col: [rule] message`` form."""
+        return f"{self.path}:{self.line}:{self.column}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> str:
+        """Identity used by baseline files.
+
+        Deliberately excludes the line/column so known findings survive
+        unrelated edits that shift them around; a message change (different
+        attribute, different missing method) is a different finding.
+        """
+        return f"{self.path}::{self.rule}::{self.message}"

@@ -1,0 +1,49 @@
+"""Library-output hygiene rule.
+
+``repro`` is a library first: results flow back as values, human-readable
+output is owned by the CLI (:mod:`repro.cli`) and the reporting helpers
+that *return* formatted strings.  A ``print()`` buried in a pipeline stage
+corrupts machine-readable CLI output (``--format json``, ``--groups-out``
+diffs) and is invisible to library embedders' logging — as are leftover
+``breakpoint()`` / ``pdb.set_trace()`` debugging hooks, which hang
+non-interactive runs (CI, worker processes) outright.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import LintRule
+from repro.analysis.registry import register_rule
+from repro.analysis.rules import dotted_name
+
+_DEBUGGER_CALLS = frozenset({"pdb.set_trace", "ipdb.set_trace"})
+
+
+@register_rule("print-in-library")
+class PrintInLibraryRule(LintRule):
+    """No print()/breakpoint() in library code (the CLI owns output)."""
+
+    name = "print-in-library"
+    description = (
+        "library modules must not print() (return values / raise instead; "
+        "the CLI owns human-readable output) or leave debugger hooks behind"
+    )
+    packages = ("repro",)
+    exclude_packages = ("repro.cli",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                self.report(
+                    node,
+                    "print() in library code — return the value or raise; "
+                    "only repro.cli talks to stdout",
+                )
+            elif func.id == "breakpoint":
+                self.report(node, "breakpoint() left in library code")
+            return
+        dotted = dotted_name(func)
+        if dotted in _DEBUGGER_CALLS:
+            self.report(node, f"{dotted}() left in library code")

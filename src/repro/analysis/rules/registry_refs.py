@@ -1,0 +1,169 @@
+"""Registry-consistency rule: names in specs must resolve.
+
+The declarative layer references components *by name* — the Table 2
+recipes (:data:`repro.specs.pipeline.BLOCKING_RECIPES`), example spec
+files, direct ``BLOCKINGS.create("...")`` calls.  A renamed or unregistered
+component turns those references into runtime ``RegistryError``s; this rule
+resolves every statically-visible name against the live registries at lint
+time instead.
+
+Two input shapes are checked:
+
+* **Python sources** — string literals inside ``BLOCKING_RECIPES``
+  assignments and literal first arguments of
+  ``BLOCKINGS/MATCHERS/CLEANUPS .create(...)`` / ``.get(...)`` calls,
+* **spec data files** (``checks_data``) — ``.toml`` / ``.json`` files whose
+  top level looks like an experiment/pipeline spec: blocking names, the
+  clean-up strategy, the experiment kind and the model-zoo name.  Files
+  that are not spec-shaped (benchmark results, arbitrary JSON) are skipped
+  silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Mapping
+
+from repro.analysis.engine import LintRule
+from repro.analysis.registry import register_rule
+from repro.analysis.rules import literal_str
+
+_REGISTRY_VARS = frozenset({"BLOCKINGS", "MATCHERS", "CLEANUPS"})
+_LOOKUP_METHODS = frozenset({"create", "get"})
+
+
+def _registries() -> dict[str, object]:
+    # Imported lazily: the rule must not force component imports on engine
+    # start-up (mirrors the registries' own lazy-builtins discipline).
+    from repro import registry
+
+    return {
+        "BLOCKINGS": registry.BLOCKINGS,
+        "MATCHERS": registry.MATCHERS,
+        "CLEANUPS": registry.CLEANUPS,
+    }
+
+
+@register_rule("registry-consistency")
+class RegistryConsistencyRule(LintRule):
+    """Statically-visible component names must resolve against the registries."""
+
+    name = "registry-consistency"
+    description = (
+        "component names in BLOCKING_RECIPES, registry lookups and example "
+        "spec files must resolve against the live component registries"
+    )
+    checks_data = True
+
+    # -- Python sources -----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not any(
+            isinstance(target, ast.Name) and target.id == "BLOCKING_RECIPES"
+            for target in node.targets
+        ):
+            return
+        blockings = _registries()["BLOCKINGS"]
+        for call in ast.walk(node.value):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id == "ComponentSpec"
+            ):
+                continue
+            name = None
+            if call.args:
+                name = literal_str(call.args[0])
+            for keyword in call.keywords:
+                if keyword.arg == "name":
+                    name = literal_str(keyword.value)
+            if name is not None and name not in blockings:
+                self.report(
+                    call,
+                    f"BLOCKING_RECIPES references blocking {name!r}, which "
+                    f"is not registered (registered: "
+                    f"{', '.join(blockings.names())})",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _LOOKUP_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _REGISTRY_VARS
+        ):
+            return
+        name = literal_str(node.args[0]) if node.args else None
+        if name is None:
+            return
+        registry = _registries()[func.value.id]
+        if name not in registry:
+            self.report(
+                node,
+                f"{func.value.id}.{func.attr}({name!r}) cannot resolve: "
+                f"not registered (registered: {', '.join(registry.names())})",
+            )
+
+    # -- spec data files ----------------------------------------------------
+
+    def check_data(self) -> None:
+        data = self.context.data
+        if not isinstance(data, Mapping):
+            return
+        if not ({"experiment", "pipeline"} & set(data)):
+            return  # not a spec file — benchmark results, arbitrary JSON, ...
+        self._check_pipeline(data.get("pipeline"))
+        self._check_experiment(data.get("experiment"))
+
+    def _add(self, message: str) -> None:
+        assert self.context is not None
+        self.context.add(self.name, 1, 1, message)
+
+    def _check_pipeline(self, pipeline: object) -> None:
+        if not isinstance(pipeline, Mapping):
+            return
+        registries = _registries()
+        blockings = registries["BLOCKINGS"]
+        for entry in pipeline.get("blocking", ()):
+            if isinstance(entry, Mapping):
+                name = entry.get("name")
+                if isinstance(name, str) and name not in blockings:
+                    self._add(
+                        f"pipeline.blocking references blocking {name!r}, "
+                        f"which is not registered (registered: "
+                        f"{', '.join(blockings.names())})"
+                    )
+        cleanup = pipeline.get("cleanup")
+        if isinstance(cleanup, Mapping):
+            strategy = cleanup.get("strategy")
+            cleanups = registries["CLEANUPS"]
+            if isinstance(strategy, str) and strategy not in cleanups:
+                self._add(
+                    f"pipeline.cleanup.strategy {strategy!r} is not a "
+                    f"registered clean-up (registered: "
+                    f"{', '.join(cleanups.names())})"
+                )
+
+    def _check_experiment(self, experiment: object) -> None:
+        if not isinstance(experiment, Mapping):
+            return
+        kind = experiment.get("kind")
+        if isinstance(kind, str):
+            from repro.specs.pipeline import BLOCKING_RECIPES
+
+            if kind not in BLOCKING_RECIPES:
+                self._add(
+                    f"experiment.kind {kind!r} has no blocking recipe "
+                    f"(known kinds: {', '.join(sorted(BLOCKING_RECIPES))})"
+                )
+        model = experiment.get("model")
+        if isinstance(model, str):
+            from repro.matching.models import MODEL_SPECS
+
+            if model not in MODEL_SPECS:
+                self._add(
+                    f"experiment.model {model!r} is not in the model zoo "
+                    f"(known models: {', '.join(sorted(MODEL_SPECS))})"
+                )
+

@@ -69,7 +69,7 @@ class IdOverlapBlocking(Blocking):
             for value in self._identifier_values(record):
                 index[value].append(record.record_id)
         values_by_owner: dict[str, list[str]] = defaultdict(list)
-        for value, record_ids in index.items():
+        for value, record_ids in index.items():  # repro-lint: disable=unordered-iteration -- insertion-ordered: built above in dataset order
             if len(record_ids) >= 2:
                 values_by_owner[record_ids[0]].append(value)
         sources = {record.record_id: record.source for record in dataset}

@@ -82,7 +82,7 @@ class IssuerMatchBlocking(Blocking):
                 continue
             securities_by_group[group].append(record)
         groups_by_owner: dict[str, list[int]] = defaultdict(list)
-        for group, securities in securities_by_group.items():
+        for group, securities in securities_by_group.items():  # repro-lint: disable=unordered-iteration -- insertion-ordered: built above in dataset order
             if len(securities) >= 2:
                 groups_by_owner[securities[0].record_id].append(group)
         return IssuerGroupIndex(

@@ -92,7 +92,7 @@ class TokenOverlapBlocking(Blocking):
             for record in dataset
         }
         document_frequency: Counter[str] = Counter()
-        for tokens in record_tokens.values():
+        for tokens in record_tokens.values():  # repro-lint: disable=unordered-iteration -- insertion-ordered (dataset order); counting is order-free
             document_frequency.update(tokens)
         sources = {record.record_id: record.source for record in dataset}
         return self._assemble(record_tokens, document_frequency, sources)
@@ -111,12 +111,12 @@ class TokenOverlapBlocking(Blocking):
         order), so building it here from cached tokenisations is identical
         to a full :meth:`prepare` by construction.
         """
-        num_tokenised = sum(1 for tokens in record_tokens.values() if tokens)
+        num_tokenised = sum(1 for tokens in record_tokens.values() if tokens)  # repro-lint: disable=unordered-iteration -- integer count; order-free
         num_tokenised = max(num_tokenised, 1)
 
         frequency_cutoff = self.max_token_frequency * num_tokenised
         token_index: dict[str, list[str]] = defaultdict(list)
-        for record_id, tokens in record_tokens.items():
+        for record_id, tokens in record_tokens.items():  # repro-lint: disable=unordered-iteration -- insertion-ordered: dataset order, then appended new records
             for token in tokens:
                 if document_frequency[token] <= frequency_cutoff:
                     token_index[token].append(record_id)
@@ -153,7 +153,7 @@ class TokenOverlapBlocking(Blocking):
         }
         record_tokens = {**shared.record_tokens, **new_tokens}
         document_frequency: Counter[str] = Counter(shared.document_frequency)
-        for tokens in new_tokens.values():
+        for tokens in new_tokens.values():  # repro-lint: disable=unordered-iteration -- insertion-ordered (new_records order); counting is order-free
             document_frequency.update(tokens)
         sources = dict(shared.sources)
         for record in new_records:

@@ -16,7 +16,11 @@ accompanying code exposes:
   resulting groups are byte-identical to a one-shot ``repro run`` over the
   concatenated batches,
 * ``repro state show`` — inspect a match state directory (and export its
-  current groups).
+  current groups),
+* ``repro lint`` — the project-contract static analyser
+  (:mod:`repro.analysis`): AST rules enforcing the determinism, two-phase
+  protocol and pool-safety invariants, with ``--select``/``--ignore``,
+  ``--format json``, baselines and inline suppressions.
 
 Installed as ``repro`` (see ``pyproject.toml``) or runnable as
 ``python -m repro.cli``.
@@ -195,6 +199,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="do not persist the updated state back to the "
                              "state directory")
     _add_runtime_flags(ingest, overrides=True)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism / protocol / pool-safety "
+             "contracts (see repro.analysis)",
+    )
+    lint.add_argument("paths", type=Path, nargs="*",
+                      help="files or directories to lint (default: src); "
+                           ".toml/.json files are checked as spec data")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule names to run (default: all "
+                           "registered rules; see --list-rules)")
+    lint.add_argument("--ignore", default=None, metavar="RULES",
+                      help="comma-separated rule names to skip")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="output_format",
+                      help="findings as human-readable lines or one JSON "
+                           "document")
+    lint.add_argument("--baseline", type=Path, default=None,
+                      help="JSON baseline file; findings recorded in it are "
+                           "filtered out (adopt a rule before paying down "
+                           "its backlog)")
+    lint.add_argument("--write-baseline", type=Path, default=None,
+                      help="write the current findings to this baseline "
+                           "file and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
 
     state = subparsers.add_parser(
         "state", help="inspect persistent match state directories"
@@ -463,6 +494,44 @@ def _runtime_override_config(matcher, args: argparse.Namespace):
     return replace(matcher.state.runtime_config, **overrides)
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        RULES,
+        RegistryError,
+        run_paths,
+        rule_names,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for name in rule_names():
+            print(f"{name}: {RULES.get(name).description}")
+        return 0
+    paths = list(args.paths) if args.paths else [Path("src")]
+    select = [n.strip() for n in args.select.split(",") if n.strip()] if args.select else None
+    ignore = [n.strip() for n in args.ignore.split(",") if n.strip()] if args.ignore else None
+    try:
+        result = run_paths(paths, select=select, ignore=ignore, baseline=args.baseline)
+    except (RegistryError, FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline is not None:
+        written = write_baseline(result.findings, args.write_baseline)
+        print(f"wrote {len(result.findings)} finding(s) to baseline {written}")
+        return 0
+    if args.output_format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.format_text())
+        summary = (
+            f"{len(result.findings)} finding(s) in {result.files_checked} "
+            f"file(s) ({result.suppressed} suppressed)"
+        )
+        print(summary if result.findings else f"clean: {summary}")
+    return 1 if result.findings else 0
+
+
 def _command_state(args: argparse.Namespace) -> int:
     from repro.incremental import MatchStateError, read_manifest
 
@@ -495,6 +564,7 @@ _COMMANDS = {
     "match": _command_match,
     "run": _command_run,
     "ingest": _command_ingest,
+    "lint": _command_lint,
     "state": _command_state,
 }
 

@@ -138,7 +138,7 @@ class Graph:
         across ``PYTHONHASHSEED`` values.
         """
         seen: set[Edge] = set()
-        for u, neighbours in self._adj.items():
+        for u, neighbours in self._adj.items():  # repro-lint: disable=unordered-iteration -- collected into a set and sorted below
             for v in neighbours:
                 seen.add(canonical_edge(u, v))
         return sorted_edges(seen)
@@ -150,7 +150,7 @@ class Graph:
 
     @property
     def num_edges(self) -> int:
-        return sum(len(neigh) for neigh in self._adj.values()) // 2
+        return sum(len(neigh) for neigh in self._adj.values()) // 2  # repro-lint: disable=unordered-iteration -- integer count; order-free
 
     # -- traversal helpers --------------------------------------------------
 

@@ -36,7 +36,7 @@ class _ResidualNetwork:
             adj_sets[u].add(v)
             adj_sets[v].add(u)
         self.adj: dict[Node, list[Node]] = {
-            node: sorted_nodes(neighbours) for node, neighbours in adj_sets.items()
+            node: sorted_nodes(neighbours) for node, neighbours in adj_sets.items()  # repro-lint: disable=unordered-iteration -- keyed lookup only; keys follow graph.nodes() order, values sorted here
         }
 
     def bfs_augmenting_path(self, source: Node, sink: Node) -> list[Node] | None:

@@ -114,13 +114,13 @@ def _minimum_cut_phase(
         )
         in_a.add(next_node)
         order.append(next_node)
-        for neighbour, weight in weights[next_node].items():
+        for neighbour, weight in weights[next_node].items():  # repro-lint: disable=unordered-iteration -- adjacency dicts built in sorted-edge order; insertion order is deterministic
             if neighbour not in in_a and neighbour in connectivity:
                 connectivity[neighbour] += weight
 
     t = order[-1]
     s = order[-2]
-    cut_of_phase = sum(weights[t].values())
+    cut_of_phase = sum(weights[t].values())  # repro-lint: disable=unordered-iteration -- deterministic insertion order (sorted-edge construction)
     return cut_of_phase, s, t
 
 
@@ -128,7 +128,7 @@ def _merge_nodes(
     weights: dict[Node, dict[Node, float]], active: list[Node], s: Node, t: Node
 ) -> None:
     """Merge node ``t`` into ``s`` (contracting the edge between them)."""
-    for neighbour, weight in list(weights[t].items()):
+    for neighbour, weight in list(weights[t].items()):  # repro-lint: disable=unordered-iteration -- deterministic insertion order (sorted-edge construction)
         if neighbour == s:
             continue
         weights[s][neighbour] = weights[s].get(neighbour, 0.0) + weight

@@ -95,7 +95,7 @@ class DisjointSet:
         by_root: dict[Node, set[Node]] = {}
         for node in self._parent:
             by_root.setdefault(self.find(node), set()).add(node)
-        components = list(by_root.values())
+        components = list(by_root.values())  # repro-lint: disable=unordered-iteration -- sorted on the next line
         components.sort(key=lambda comp: (-len(comp), min(repr(n) for n in comp)))
         return components
 

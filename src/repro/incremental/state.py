@@ -235,7 +235,7 @@ class MatchState:
         if payload_dir.exists():  # leftover from an interrupted save
             shutil.rmtree(payload_dir)
         payload_dir.mkdir()
-        for file_name, payload in payloads.items():
+        for file_name, payload in payloads.items():  # repro-lint: disable=unordered-iteration -- dict literal; fixed source order
             with (payload_dir / file_name).open("wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         manifest_temp = state_dir / (MANIFEST_FILE + ".tmp")

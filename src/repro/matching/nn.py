@@ -39,7 +39,7 @@ class Module:
 
     def parameters(self) -> list[Parameter]:
         found: list[Parameter] = []
-        for attribute in vars(self).values():
+        for attribute in vars(self).values():  # repro-lint: disable=unordered-iteration -- __dict__ follows attribute-assignment order in __init__; deterministic
             if isinstance(attribute, Parameter):
                 found.append(attribute)
             elif isinstance(attribute, Module):

@@ -50,9 +50,9 @@ class PairSampler:
         groups = dataset.entity_groups()
         if entity_ids is not None:
             keep = set(entity_ids)
-            groups = {entity: ids for entity, ids in groups.items() if entity in keep}
+            groups = {entity: ids for entity, ids in groups.items() if entity in keep}  # repro-lint: disable=unordered-iteration -- entity_groups() is insertion-ordered by dataset order
         pairs: list[LabeledPair] = []
-        for record_ids in groups.values():
+        for record_ids in groups.values():  # repro-lint: disable=unordered-iteration -- entity_groups() is insertion-ordered by dataset order
             for i, left_id in enumerate(record_ids):
                 for right_id in record_ids[i + 1:]:
                     pairs.append(

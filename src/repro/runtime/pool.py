@@ -44,6 +44,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -161,20 +162,28 @@ class WorkerPool:
         self._epochs: dict[str, PublishedEpoch] = {}
         self._payload_dir: str | None = None
         self._finalizer: weakref.finalize | None = None
+        #: Guards every state transition (executor spawn/teardown, epoch
+        #: table, spool directory, statistics).  Re-entrant because the
+        #: locked lifecycle methods call each other (``close`` →
+        #: ``dispose``) and share ``_refresh_finalizer``.  One pipeline
+        #: runtime is single-threaded, but a pool outlives calls by design
+        #: and e.g. benchmark drivers poke ``stats`` from timer threads.
+        self._lock = threading.RLock()
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def executor(self) -> Executor:
         """The live executor, spawned lazily on first use."""
-        if self._executor is None:
-            if self.kind == "process":
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
-            else:
-                self._executor = ThreadPoolExecutor(max_workers=self.workers)
-            self.stats.spawns += 1
-            self._refresh_finalizer()
-        return self._executor
+        with self._lock:
+            if self._executor is None:
+                if self.kind == "process":
+                    self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                else:
+                    self._executor = ThreadPoolExecutor(max_workers=self.workers)
+                self.stats.spawns += 1
+                self._refresh_finalizer()
+            return self._executor
 
     def dispose(self, *, cancel: bool = False) -> None:
         """Shut the executor down (optionally cancelling queued tasks).
@@ -185,10 +194,11 @@ class WorkerPool:
         worker exception the pool is disposed with ``cancel=True`` so no
         in-flight chunk task outlives the call that submitted it.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=cancel)
-            self._executor = None
-            self._refresh_finalizer()
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=cancel)
+                self._executor = None
+                self._refresh_finalizer()
 
     def close(self) -> None:
         """Release everything: workers, published payloads, spool files.
@@ -196,14 +206,15 @@ class WorkerPool:
         Safe to call twice; the pool remains usable afterwards (the next
         use starts from a cold, empty state).
         """
-        self.dispose(cancel=True)
-        if self._finalizer is not None:
-            self._finalizer.detach()
-            self._finalizer = None
-        if self._payload_dir is not None:
-            shutil.rmtree(self._payload_dir, ignore_errors=True)
-            self._payload_dir = None
-        self._epochs.clear()
+        with self._lock:
+            self.dispose(cancel=True)
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            if self._payload_dir is not None:
+                shutil.rmtree(self._payload_dir, ignore_errors=True)
+                self._payload_dir = None
+            self._epochs.clear()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -212,14 +223,15 @@ class WorkerPool:
         self.close()
 
     def _refresh_finalizer(self) -> None:
-        if self._finalizer is not None:
-            self._finalizer.detach()
-        if self._executor is None and self._payload_dir is None:
-            self._finalizer = None
-            return
-        self._finalizer = weakref.finalize(
-            self, _shutdown_abandoned, self._executor, self._payload_dir
-        )
+        with self._lock:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            if self._executor is None and self._payload_dir is None:
+                self._finalizer = None
+                return
+            self._finalizer = weakref.finalize(
+                self, _shutdown_abandoned, self._executor, self._payload_dir
+            )
 
     # -- the epoch protocol ------------------------------------------------
 
@@ -242,52 +254,55 @@ class WorkerPool:
         payload is spooled to a private file once per epoch; thread pools
         keep it by reference only.
         """
-        current = self._epochs.get(slot)
-        if (
-            current is not None
-            and anchors is not None
-            and current.anchors is not None
-            and len(current.anchors) == len(anchors)
-            and all(ours is theirs for ours, theirs in zip(current.anchors, anchors))
-            and current.version == version
-        ):
-            self.stats.publish_reuses += 1
-            return current
-        epoch = next(_EPOCH_IDS)
-        path: str | None = None
-        if self.kind == "process":
-            if self._payload_dir is None:
-                self._payload_dir = tempfile.mkdtemp(prefix="repro-pool-")
-                self._refresh_finalizer()
-            path = os.path.join(self._payload_dir, f"{slot}-{epoch:d}.pkl")
-            with open(path, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            if current is not None and current.path is not None:
-                # No in-flight tasks can reference the old epoch: map_chunks
-                # drains all futures before the next publish.
-                try:
-                    os.unlink(current.path)
-                except OSError:
-                    pass
-        published = PublishedEpoch(
-            slot=slot,
-            epoch=epoch,
-            path=path,
-            payload=payload,
-            anchors=tuple(anchors) if anchors is not None else None,
-            version=version,
-        )
-        self._epochs[slot] = published
-        self.stats.publishes += 1
-        return published
+        with self._lock:
+            current = self._epochs.get(slot)
+            if (
+                current is not None
+                and anchors is not None
+                and current.anchors is not None
+                and len(current.anchors) == len(anchors)
+                and all(ours is theirs for ours, theirs in zip(current.anchors, anchors))
+                and current.version == version
+            ):
+                self.stats.publish_reuses += 1
+                return current
+            epoch = next(_EPOCH_IDS)
+            path: str | None = None
+            if self.kind == "process":
+                if self._payload_dir is None:
+                    self._payload_dir = tempfile.mkdtemp(prefix="repro-pool-")
+                    self._refresh_finalizer()
+                path = os.path.join(self._payload_dir, f"{slot}-{epoch:d}.pkl")
+                with open(path, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                if current is not None and current.path is not None:
+                    # No in-flight tasks can reference the old epoch: map_chunks
+                    # drains all futures before the next publish.
+                    try:
+                        os.unlink(current.path)
+                    except OSError:
+                        pass
+            published = PublishedEpoch(
+                slot=slot,
+                epoch=epoch,
+                path=path,
+                payload=payload,
+                anchors=tuple(anchors) if anchors is not None else None,
+                version=version,
+            )
+            self._epochs[slot] = published
+            self.stats.publishes += 1
+            return published
 
     def current_epoch(self, slot: str) -> PublishedEpoch | None:
         """The epoch currently published under ``slot`` (if any)."""
-        return self._epochs.get(slot)
+        with self._lock:
+            return self._epochs.get(slot)
 
     def record_fetches(self, count: int) -> None:
         """Fold worker-reported payload fetches into the statistics."""
-        self.stats.fetches += count
+        with self._lock:
+            self.stats.fetches += count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "live" if self._executor is not None else "cold"

@@ -1,0 +1,99 @@
+"""CLI behaviour of ``repro lint`` and the shipped-tree self-run."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+BAD_GRAPHS_SOURCE = (
+    "def f(s):\n"
+    "    for x in s | {1}:\n"
+    "        pass\n"
+)
+
+
+def write_bad_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "graphs"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_GRAPHS_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+class TestLintCli:
+    def test_findings_exit_1_and_print_positions(self, tmp_path, capsys):
+        root = write_bad_tree(tmp_path)
+        assert main(["lint", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "[unordered-iteration]" in out
+        assert "bad.py:2:" in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("X = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_select_limits_the_rules(self, tmp_path):
+        root = write_bad_tree(tmp_path)
+        assert main(["lint", str(root), "--select", "lock-coverage"]) == 0
+
+    def test_ignore_drops_the_rule(self, tmp_path):
+        root = write_bad_tree(tmp_path)
+        assert main(["lint", str(root), "--ignore", "unordered-iteration"]) == 0
+
+    def test_unknown_rule_exits_2_listing_registered(self, tmp_path, capsys):
+        root = write_bad_tree(tmp_path)
+        assert main(["lint", str(root), "--select", "no-such-rule"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-rule" in err
+        assert "unordered-iteration" in err
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        root = write_bad_tree(tmp_path)
+        assert main(["lint", str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["findings"]) == 1
+        finding = payload["findings"][0]
+        assert finding["rule"] == "unordered-iteration"
+        assert finding["line"] == 2
+
+    def test_list_rules_names_every_rule(self, capsys):
+        from repro.analysis import rule_names
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in rule_names():
+            assert name in out
+
+    def test_baseline_workflow_adopts_then_filters(self, tmp_path, capsys):
+        root = write_bad_tree(tmp_path)
+        baseline = tmp_path / "lint-baseline.json"
+        assert main(
+            ["lint", str(root), "--write-baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["lint", str(root), "--baseline", str(baseline)]) == 0
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        root = write_bad_tree(tmp_path)
+        baseline = tmp_path / "broken.json"
+        baseline.write_text("[]", encoding="utf-8")
+        assert main(["lint", str(root), "--baseline", str(baseline)]) == 2
+
+
+class TestShippedTreeIsClean:
+    def test_src_lints_clean(self, capsys):
+        # The acceptance criterion: `repro lint src` exits 0 on the shipped
+        # tree.  Run from the repo root (how pytest is invoked here).
+        assert Path("src/repro").is_dir()
+        assert main(["lint", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_tests_and_benchmarks_lint_clean(self, capsys):
+        paths = [p for p in ("tests", "benchmarks") if Path(p).is_dir()]
+        assert paths
+        assert main(["lint", *paths]) == 0

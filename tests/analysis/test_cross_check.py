@@ -1,0 +1,144 @@
+"""Registry ↔ lint cross-check.
+
+The protocol-conformance rule reasons about class bodies statically; the
+execution engine reads the same flags at runtime.  This suite closes the
+loop: for every *registered* component (auto-discovered, so new components
+are covered the day they register), the AST-level declaration the linter
+sees must agree with the runtime flag the engine dispatches on — the rule
+is checking the real contract, not a parallel fiction.
+"""
+
+import ast
+import inspect
+
+from repro.analysis.rules.protocol import PROTOCOL_METHODS, analyze_class
+from repro.registry import BLOCKINGS, CLEANUPS, MATCHERS
+
+
+def info_for(cls):
+    """The linter's view of ``cls``: analyze its real class-body AST."""
+    tree = ast.parse(inspect.getsource(inspect.getmodule(cls)))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls.__name__:
+            return analyze_class(node)
+    raise AssertionError(f"class {cls.__name__} not found in its module source")
+
+
+def matcher_classes():
+    """Every concrete matcher class reachable from the registered factories."""
+    for name in MATCHERS.names():
+        MATCHERS.get(name)  # force the factory's module (and classes) to load
+    from repro.matching.base import PairwiseMatcher
+
+    found = []
+    stack = list(PairwiseMatcher.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        found.append(cls)
+        stack.extend(cls.__subclasses__())
+    return sorted(found, key=lambda cls: cls.__qualname__)
+
+
+class TestBlockingFlags:
+    def test_every_registered_blocking_restates_its_flags(self):
+        assert BLOCKINGS.names()  # auto-discovery must find something
+        for name in BLOCKINGS.names():
+            cls = BLOCKINGS.get(name)
+            info = info_for(cls)
+            for flag in ("shardable", "delta_capable"):
+                runtime = bool(getattr(cls, flag, False))
+                declared = info.flags.get(flag)
+                # Mirror the lint rule exactly: a capability in force must
+                # be restated in the body (the linter cannot see inherited
+                # flags); an inherited False default may stay implicit.  Any
+                # restatement must be the truth.
+                if runtime:
+                    assert declared is True, (
+                        f"{name}: {flag} is True at runtime but not "
+                        "declared in the class body the linter checks"
+                    )
+                elif declared is not None:
+                    assert declared == runtime, (
+                        f"{name}: body declares {flag}={declared}, "
+                        f"runtime says {runtime}"
+                    )
+
+    def test_true_flags_come_with_the_methods_the_engine_calls(self):
+        for name in BLOCKINGS.names():
+            cls = BLOCKINGS.get(name)
+            info = info_for(cls)
+            for flag, methods in (
+                ("shardable", PROTOCOL_METHODS["shardable"]),
+                ("delta_capable", PROTOCOL_METHODS["delta_capable"]),
+            ):
+                if not getattr(cls, flag, False):
+                    continue
+                for method in methods:
+                    assert callable(getattr(cls, method, None)), (
+                        f"{name}: {flag}=True but {method}() missing at runtime"
+                    )
+                    assert method in info.implemented, (
+                        f"{name}: {flag}=True but {method}() is not "
+                        "implemented in the class body the linter checks"
+                    )
+
+
+class TestMatcherFlags:
+    def test_profile_capable_matchers_override_the_profile_methods(self):
+        from repro.matching.base import PairwiseMatcher
+
+        classes = matcher_classes()
+        assert classes  # discovery through the registry must find matchers
+        for cls in classes:
+            if inspect.isabstract(cls):
+                continue
+            runtime = bool(getattr(cls, "profile_capable", False))
+            if runtime:
+                for method in PROTOCOL_METHODS["profile_capable"]:
+                    assert getattr(cls, method) is not getattr(
+                        PairwiseMatcher, method
+                    ), (
+                        f"{cls.__name__}: profile_capable=True but {method}() "
+                        "is the base-class stub"
+                    )
+
+    def test_declared_matcher_flags_match_runtime(self):
+        for cls in matcher_classes():
+            declared = info_for(cls).flags.get("profile_capable")
+            if declared is not None:
+                assert declared == bool(getattr(cls, "profile_capable", False)), (
+                    f"{cls.__name__}: body declares profile_capable={declared} "
+                    "but the runtime flag disagrees"
+                )
+
+    def test_profile_capable_is_restated_where_true(self):
+        # The linter demands restatement; verify every capable class complies.
+        capable = [
+            cls
+            for cls in matcher_classes()
+            if bool(getattr(cls, "profile_capable", False))
+        ]
+        assert capable  # the repo ships profiled matchers
+        for cls in capable:
+            assert info_for(cls).flags.get("profile_capable") is True, (
+                f"{cls.__name__} relies on an inherited profile_capable flag "
+                "the linter cannot see"
+            )
+
+
+class TestCleanupsResolve:
+    def test_every_registered_cleanup_resolves(self):
+        # Clean-ups carry no protocol flags; the cross-check is that every
+        # name the registry-consistency rule would accept actually resolves.
+        assert CLEANUPS.names()
+        for name in CLEANUPS.names():
+            assert callable(CLEANUPS.get(name))
+
+    def test_blocking_recipes_resolve_against_the_registry(self):
+        from repro.specs.pipeline import BLOCKING_RECIPES
+
+        for kind, specs in BLOCKING_RECIPES.items():
+            for spec in specs:
+                assert spec.name in BLOCKINGS, (
+                    f"recipe {kind!r} references unregistered {spec.name!r}"
+                )

@@ -1,0 +1,143 @@
+"""Fixture suite for the determinism rules.
+
+Each rule gets positive snippets (must fire), negative snippets (must stay
+silent) and a suppression case.  The first test is the acceptance fixture:
+an unsorted dict iteration presented as living in ``repro.graphs``.
+"""
+
+from repro.analysis import resolve_rules, run_source
+
+GRAPHS = "repro.graphs.fixture"
+MATCHING = "repro.matching.fixture"
+
+UNORDERED = resolve_rules(select=["unordered-iteration"])
+SOURCES = resolve_rules(select=["nondeterminism-sources"])
+
+
+def rules_of(source, module, rules):
+    return [f.rule for f in run_source(source, module=module, rules=rules)]
+
+
+class TestUnorderedIteration:
+    def test_unsorted_dict_iteration_in_repro_graphs_is_caught(self):
+        # The acceptance fixture: a deliberately-broken unsorted dict-view
+        # iteration in a repro.graphs module must be caught by name.
+        source = (
+            "def neighbours(adj):\n"
+            "    out = []\n"
+            "    for node, edges in adj.items():\n"
+            "        out.append((node, len(edges)))\n"
+            "    return out\n"
+        )
+        assert rules_of(source, GRAPHS, UNORDERED) == ["unordered-iteration"]
+
+    def test_set_literal_union_iteration_is_caught(self):
+        source = "def f(s):\n    return [x for x in s | {1}]\n"
+        assert rules_of(source, GRAPHS, UNORDERED) == ["unordered-iteration"]
+
+    def test_set_call_iteration_is_caught(self):
+        source = "def f(xs):\n    for x in set(xs):\n        pass\n"
+        assert rules_of(source, GRAPHS, UNORDERED) == ["unordered-iteration"]
+
+    def test_set_comprehension_iteration_is_caught(self):
+        source = "def f(xs):\n    for x in {y for y in xs}:\n        pass\n"
+        assert "unordered-iteration" in rules_of(source, GRAPHS, UNORDERED)
+
+    def test_set_method_result_iteration_is_caught(self):
+        source = "def f(a, b):\n    for x in a.union(b):\n        pass\n"
+        assert rules_of(source, GRAPHS, UNORDERED) == ["unordered-iteration"]
+
+    def test_list_materialising_a_values_view_is_caught(self):
+        source = "def f(d):\n    return list(d.values())\n"
+        assert rules_of(source, GRAPHS, UNORDERED) == ["unordered-iteration"]
+
+    def test_sum_over_a_values_view_is_caught(self):
+        source = "def f(d):\n    return sum(d.values())\n"
+        assert rules_of(source, GRAPHS, UNORDERED) == ["unordered-iteration"]
+
+    def test_sorted_iteration_is_clean(self):
+        source = "def f(d):\n    for k in sorted(d.keys()):\n        pass\n"
+        assert rules_of(source, GRAPHS, UNORDERED) == []
+
+    def test_order_free_sinks_are_clean(self):
+        source = (
+            "def f(s, d):\n"
+            "    a = any(x > 0 for x in s)\n"
+            "    b = max(v for v in d.values())\n"
+            "    c = sorted(x for x in s)\n"
+            "    return a, b, c\n"
+        )
+        assert rules_of(source, GRAPHS, UNORDERED) == []
+
+    def test_integer_binop_is_not_a_set_operation(self):
+        source = "def f(xs, n):\n    for x in range(n | 1):\n        pass\n"
+        assert rules_of(source, GRAPHS, UNORDERED) == []
+
+    def test_outside_critical_packages_is_clean(self):
+        source = "def f(s):\n    for x in s | {1}:\n        pass\n"
+        assert rules_of(source, "repro.cli", UNORDERED) == []
+
+    def test_suppression_with_justification_silences(self):
+        source = (
+            "def f(d):\n"
+            "    for k, v in d.items():  # repro-lint: disable=unordered-iteration -- insertion-ordered\n"
+            "        pass\n"
+        )
+        assert rules_of(source, GRAPHS, UNORDERED) == []
+
+
+class TestNondeterminismSources:
+    def test_wall_clock_time_is_caught(self):
+        source = "import time\n\ndef stamp():\n    return time.time()\n"
+        assert rules_of(source, MATCHING, SOURCES) == ["nondeterminism-sources"]
+
+    def test_os_urandom_is_caught(self):
+        source = "import os\n\ndef salt():\n    return os.urandom(8)\n"
+        assert rules_of(source, MATCHING, SOURCES) == ["nondeterminism-sources"]
+
+    def test_global_random_function_is_caught(self):
+        source = "import random\n\ndef pick(xs):\n    return random.choice(xs)\n"
+        assert rules_of(source, MATCHING, SOURCES) == ["nondeterminism-sources"]
+
+    def test_unseeded_default_rng_is_caught(self):
+        source = "import numpy as np\n\nrng = np.random.default_rng()\n"
+        assert rules_of(source, MATCHING, SOURCES) == ["nondeterminism-sources"]
+
+    def test_hash_builtin_is_caught(self):
+        source = "def key(s):\n    return hash(s)\n"
+        assert rules_of(source, MATCHING, SOURCES) == ["nondeterminism-sources"]
+
+    def test_id_as_mapping_key_is_caught(self):
+        source = "def put(cache, obj, value):\n    cache[id(obj)] = value\n"
+        assert rules_of(source, MATCHING, SOURCES) == ["nondeterminism-sources"]
+
+    def test_id_as_dict_literal_key_is_caught(self):
+        source = "def one(obj):\n    return {id(obj): obj}\n"
+        assert rules_of(source, MATCHING, SOURCES) == ["nondeterminism-sources"]
+
+    def test_seeded_generators_are_clean(self):
+        source = (
+            "import random\n"
+            "import numpy as np\n"
+            "\n"
+            "def make(seed):\n"
+            "    return random.Random(seed), np.random.default_rng(seed)\n"
+        )
+        assert rules_of(source, MATCHING, SOURCES) == []
+
+    def test_plain_id_call_outside_keys_is_clean(self):
+        source = "def same(a, b):\n    return id(a) == id(b)\n"
+        assert rules_of(source, MATCHING, SOURCES) == []
+
+    def test_datagen_is_out_of_scope(self):
+        source = "import random\n\nx = random.random()\n"
+        assert rules_of(source, "repro.datagen.companies", SOURCES) == []
+
+    def test_suppression_silences(self):
+        source = (
+            "import time\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()  # repro-lint: disable=nondeterminism-sources -- diagnostics only\n"
+        )
+        assert rules_of(source, MATCHING, SOURCES) == []

@@ -1,0 +1,229 @@
+"""Engine-level behaviour: suppressions, scoping, baselines, file discovery.
+
+Rule-specific positives/negatives live in the per-rule fixture files; this
+file covers everything rule-agnostic — the machinery every rule relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ENGINE_RULE,
+    Finding,
+    LintRule,
+    RegistryError,
+    iter_lintable_files,
+    load_baseline,
+    module_name_for,
+    resolve_rules,
+    rule_names,
+    run_paths,
+    run_source,
+    write_baseline,
+)
+from repro.analysis.engine import _prefix_match
+
+
+GRAPHS_MODULE = "repro.graphs.fixture"
+
+UNSORTED_SET_LOOP = (
+    "def f(s):\n"
+    "    for x in s | {1}:\n"
+    "        print(x)\n"
+)
+
+
+def findings_for(source, module=GRAPHS_MODULE, select=None):
+    rules = resolve_rules(select=select) if select else None
+    return run_source(source, module=module, rules=rules)
+
+
+class TestSuppressions:
+    def test_inline_disable_silences_the_rule_on_that_line(self):
+        source = (
+            "def f(s):\n"
+            "    for x in s | {1}:  # repro-lint: disable=unordered-iteration -- test\n"
+            "        pass\n"
+        )
+        assert findings_for(source, select=["unordered-iteration"]) == []
+
+    def test_disable_all_silences_every_rule(self):
+        source = (
+            "def f(s):\n"
+            "    for x in s | {1}:  # repro-lint: disable=all\n"
+            "        pass\n"
+        )
+        assert findings_for(source) == []
+
+    def test_disable_of_another_rule_does_not_silence(self):
+        source = (
+            "def f(s):\n"
+            "    for x in s | {1}:  # repro-lint: disable=lock-coverage\n"
+            "        pass\n"
+        )
+        rules = [f.rule for f in findings_for(source)]
+        assert "unordered-iteration" in rules
+
+    def test_marker_inside_string_literal_is_not_a_suppression(self):
+        source = (
+            "MARKER = '# repro-lint: disable=all'\n"
+            "def f(s):\n"
+            "    for x in s | {1}:\n"
+            "        pass\n"
+        )
+        rules = [f.rule for f in findings_for(source)]
+        assert "unordered-iteration" in rules
+
+    def test_unknown_rule_in_suppression_is_reported(self):
+        source = "X = 1  # repro-lint: disable=no-such-rule\n"
+        findings = findings_for(source, module="plain.module")
+        assert len(findings) == 1
+        assert findings[0].rule == ENGINE_RULE
+        assert "no-such-rule" in findings[0].message
+        # ... and the message lists the real rules, registry-style.
+        assert "unordered-iteration" in findings[0].message
+
+    def test_engine_findings_cannot_be_suppressed(self):
+        source = "X = 1  # repro-lint: disable=typo-rule, all\n"
+        findings = findings_for(source, module="plain.module")
+        assert [f.rule for f in findings] == [ENGINE_RULE]
+
+
+class TestScoping:
+    def test_package_scoped_rule_skips_other_modules(self):
+        assert findings_for(UNSORTED_SET_LOOP, module="repro.cli") == []
+
+    def test_package_scoped_rule_fires_inside_its_packages(self):
+        rules = [f.rule for f in findings_for(UNSORTED_SET_LOOP)]
+        assert "unordered-iteration" in rules
+
+    def test_prefix_match_is_component_wise(self):
+        assert _prefix_match("repro.graphs.graph", "repro.graphs")
+        assert not _prefix_match("repro.graphstuff", "repro.graphs")
+
+
+class TestResolveRules:
+    def test_select_unknown_rule_raises_listing_registered(self):
+        with pytest.raises(RegistryError) as excinfo:
+            resolve_rules(select=["nope"])
+        assert "nope" in str(excinfo.value)
+        assert "unordered-iteration" in str(excinfo.value)
+
+    def test_ignore_unknown_rule_raises(self):
+        with pytest.raises(RegistryError):
+            resolve_rules(ignore=["nope"])
+
+    def test_ignore_removes_the_rule(self):
+        names = [cls.name for cls in resolve_rules(ignore=["lock-coverage"])]
+        assert "lock-coverage" not in names
+        assert "unordered-iteration" in names
+
+    def test_default_is_every_registered_rule(self):
+        assert sorted(cls.name for cls in resolve_rules()) == rule_names()
+
+
+class TestModuleNames:
+    def test_src_files_are_named_from_the_package_root(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "graphs" / "graph.py"
+        assert module_name_for(path) == "repro.graphs.graph"
+
+    def test_init_maps_to_the_package(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "graphs" / "__init__.py"
+        assert module_name_for(path) == "repro.graphs"
+
+
+class TestSyntaxErrors:
+    def test_unparseable_source_is_a_lint_error_finding(self):
+        findings = run_source("def broken(:\n", module="plain.module")
+        assert [f.rule for f in findings] == [ENGINE_RULE]
+        assert "syntax error" in findings[0].message
+
+
+class TestRunPaths:
+    def _write_bad_module(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "graphs"
+        pkg.mkdir(parents=True)
+        bad = pkg / "bad.py"
+        bad.write_text(UNSORTED_SET_LOOP, encoding="utf-8")
+        return bad
+
+    def test_directory_walk_finds_the_finding(self, tmp_path):
+        self._write_bad_module(tmp_path)
+        result = run_paths([tmp_path], select=["unordered-iteration"])
+        assert [f.rule for f in result.findings] == ["unordered-iteration"]
+        assert result.files_checked == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_paths([tmp_path / "absent"])
+
+    def test_pycache_is_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("def broken(:\n", encoding="utf-8")
+        assert iter_lintable_files([tmp_path]) == []
+
+    def test_suppressed_count_is_reported(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "graphs"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text(
+            "def f(s):\n"
+            "    for x in s | {1}:  # repro-lint: disable=unordered-iteration -- test\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        result = run_paths([tmp_path], select=["unordered-iteration"])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestBaselines:
+    def test_baseline_roundtrip_filters_known_findings(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "graphs"
+        bad.mkdir(parents=True)
+        (bad / "bad.py").write_text(UNSORTED_SET_LOOP, encoding="utf-8")
+        first = run_paths([tmp_path], select=["unordered-iteration"])
+        assert first.findings
+        baseline = write_baseline(first.findings, tmp_path / "baseline.json")
+        second = run_paths(
+            [tmp_path], select=["unordered-iteration"], baseline=baseline
+        )
+        assert second.findings == []
+
+    def test_baseline_key_ignores_position(self):
+        a = Finding("p.py", 1, 1, "r", "m")
+        b = Finding("p.py", 99, 7, "r", "m")
+        assert a.baseline_key() == b.baseline_key()
+
+    def test_malformed_baseline_raises_value_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestCustomRules:
+    def test_third_party_rule_registers_and_runs(self):
+        from repro.analysis import RULES, register_rule
+
+        @register_rule("no-sleep-test-rule")
+        class NoSleepRule(LintRule):
+            name = "no-sleep-test-rule"
+            description = "test rule"
+
+            def visit_Call(self, node):
+                import ast
+
+                if isinstance(node.func, ast.Name) and node.func.id == "sleep":
+                    self.report(node, "no sleeping")
+
+        try:
+            findings = run_source(
+                "sleep(1)\n", module="plain.module", rules=[NoSleepRule]
+            )
+            assert [f.rule for f in findings] == ["no-sleep-test-rule"]
+            with pytest.raises(RegistryError):
+                register_rule("no-sleep-test-rule")(NoSleepRule)
+        finally:
+            RULES.unregister("no-sleep-test-rule")

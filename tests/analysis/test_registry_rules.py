@@ -1,0 +1,133 @@
+"""Fixture suite for registry-consistency and the hygiene rule."""
+
+import json
+
+from repro.analysis import resolve_rules, run_paths, run_source
+
+REGISTRY = resolve_rules(select=["registry-consistency"])
+HYGIENE = resolve_rules(select=["print-in-library"])
+
+
+def rules_of(source, rules, module="repro.specs.fixture"):
+    return [f.rule for f in run_source(source, module=module, rules=rules)]
+
+
+class TestRegistryConsistencyPython:
+    def test_unknown_name_in_blocking_recipes_is_caught(self):
+        source = (
+            "BLOCKING_RECIPES = {\n"
+            "    'companies': (ComponentSpec('no_such_blocking'),),\n"
+            "}\n"
+        )
+        findings = run_source(source, module="repro.specs.fixture", rules=REGISTRY)
+        assert [f.rule for f in findings] == ["registry-consistency"]
+        assert "no_such_blocking" in findings[0].message
+
+    def test_registered_names_in_blocking_recipes_are_clean(self):
+        source = (
+            "BLOCKING_RECIPES = {\n"
+            "    'companies': (ComponentSpec('id_overlap'),\n"
+            "                  ComponentSpec(name='token_overlap')),\n"
+            "}\n"
+        )
+        assert rules_of(source, REGISTRY) == []
+
+    def test_unknown_literal_in_registry_create_is_caught(self):
+        source = "b = BLOCKINGS.create('no_such_blocking')\n"
+        findings = run_source(source, module="repro.specs.fixture", rules=REGISTRY)
+        assert len(findings) == 1
+        assert "cannot resolve" in findings[0].message
+
+    def test_known_literal_and_dynamic_names_are_clean(self):
+        source = (
+            "a = BLOCKINGS.create('id_overlap')\n"
+            "b = BLOCKINGS.create(some_variable)\n"
+        )
+        assert rules_of(source, REGISTRY) == []
+
+    def test_suppression_silences(self):
+        source = (
+            "b = BLOCKINGS.create('future_blocking')  # repro-lint: disable=registry-consistency -- registered by a plugin\n"
+        )
+        assert rules_of(source, REGISTRY) == []
+
+
+class TestRegistryConsistencyData:
+    def _lint_file(self, path):
+        return run_paths([path], select=["registry-consistency"]).findings
+
+    def test_spec_with_unknown_blocking_is_caught(self, tmp_path):
+        spec = tmp_path / "spec.toml"
+        spec.write_text(
+            "[pipeline]\n"
+            "[[pipeline.blocking]]\n"
+            'name = "no_such_blocking"\n',
+            encoding="utf-8",
+        )
+        findings = self._lint_file(spec)
+        assert [f.rule for f in findings] == ["registry-consistency"]
+
+    def test_spec_with_unknown_cleanup_strategy_is_caught(self, tmp_path):
+        spec = tmp_path / "spec.toml"
+        spec.write_text(
+            "[pipeline.cleanup]\n"
+            'strategy = "no_such_cleanup"\n',
+            encoding="utf-8",
+        )
+        assert len(self._lint_file(spec)) == 1
+
+    def test_spec_with_unknown_experiment_kind_is_caught(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps({"experiment": {"kind": "no_such_kind"}}), encoding="utf-8"
+        )
+        findings = self._lint_file(spec)
+        assert len(findings) == 1
+        assert "no_such_kind" in findings[0].message
+
+    def test_shipped_example_specs_are_clean(self):
+        from pathlib import Path
+
+        result = run_paths(
+            [Path("examples/configs")], select=["registry-consistency"]
+        )
+        assert result.findings == []
+        assert result.files_checked > 0
+
+    def test_non_spec_json_is_skipped_silently(self, tmp_path):
+        blob = tmp_path / "results.json"
+        blob.write_text(
+            json.dumps({"runs": [{"seconds": 1.5}]}), encoding="utf-8"
+        )
+        assert self._lint_file(blob) == []
+
+    def test_malformed_data_file_is_a_lint_error(self, tmp_path):
+        blob = tmp_path / "broken.json"
+        blob.write_text("{not json", encoding="utf-8")
+        findings = run_paths([blob]).findings
+        assert [f.rule for f in findings] == ["lint-error"]
+
+
+class TestPrintInLibrary:
+    def test_print_in_library_code_is_caught(self):
+        source = "def stage(x):\n    print(x)\n    return x\n"
+        assert rules_of(source, HYGIENE, module="repro.core.fixture") == [
+            "print-in-library"
+        ]
+
+    def test_breakpoint_is_caught(self):
+        source = "def stage(x):\n    breakpoint()\n    return x\n"
+        assert rules_of(source, HYGIENE, module="repro.core.fixture") == [
+            "print-in-library"
+        ]
+
+    def test_cli_module_is_out_of_scope(self):
+        source = "def show(x):\n    print(x)\n"
+        assert rules_of(source, HYGIENE, module="repro.cli") == []
+
+    def test_suppression_silences(self):
+        source = (
+            "def stage(x):\n"
+            "    print(x)  # repro-lint: disable=print-in-library -- debug helper\n"
+        )
+        assert rules_of(source, HYGIENE, module="repro.core.fixture") == []

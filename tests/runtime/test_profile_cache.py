@@ -125,7 +125,7 @@ class TestProfiledPathMechanics:
         class CountingMatcher(ThresholdNameMatcher):
             prepare_calls = 0
 
-            def prepare_profiles(self, records):
+            def prepare_profiles(self, records):  # repro-lint: disable=protocol-conformance -- counting wrapper; flag and the rest of the protocol are inherited
                 type(self).prepare_calls += 1
                 return super().prepare_profiles(records)
 

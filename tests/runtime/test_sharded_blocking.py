@@ -129,7 +129,7 @@ class TestShardableProtocol:
                 calls["candidate_pairs"] += 1
                 return IdOverlapBlocking().candidate_pairs(dataset)
 
-            def prepare(self, dataset):  # pragma: no cover - must not run
+            def prepare(self, dataset):  # pragma: no cover - must not run  # repro-lint: disable=protocol-conformance -- deliberately unshardable; prepare() exists to prove the fallback never calls it
                 calls["prepare"] += 1
                 return super().prepare(dataset)
 

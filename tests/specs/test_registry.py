@@ -39,7 +39,7 @@ class TestBuiltinRegistrations:
 class TestRegistryErrors:
     def test_unknown_name_lists_registered_names(self):
         with pytest.raises(RegistryError) as excinfo:
-            BLOCKINGS.get("does_not_exist")
+            BLOCKINGS.get("does_not_exist")  # repro-lint: disable=registry-consistency -- exercising the unknown-name error path
         message = str(excinfo.value)
         assert "unknown blocking 'does_not_exist'" in message
         for name in ("'id_overlap'", "'token_overlap'", "'issuer_match'"):
