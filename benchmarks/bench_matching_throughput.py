@@ -11,9 +11,12 @@ synthetic companies benchmark, in two sections:
     frozen "before" baseline),
   - ``per_pair``: the current extractor without a profile store (what
     ``--no-profile-cache`` pays per pair),
-  - ``profile_store``: profiles prepared once per record + store-level
-    similarity memoisation (what ``--profile-cache`` pays) — preparation
-    time is included.
+  - ``store rows``: the profile store scored row at a time
+    (``extract_batch_profiles_rows``, the per-pair oracle the columnar
+    path is asserted bitwise-equal against),
+  - ``profile_store``: the columnar hot path — profiles prepared once per
+    record, features as array expressions over the packed columns (what
+    ``--profile-cache`` pays) — preparation time is included.
 
 * **run_matching** — end-to-end ``PipelineRuntime.run_matching`` throughput
   with the trained logistic matcher, profile-cache on/off × warm-pool
@@ -285,17 +288,27 @@ def measure_extraction(
         lambda: current.extract_batch(record_pairs)
     )
 
+    def profiled_rows() -> np.ndarray:
+        # The row-at-a-time store oracle: same profile store, per-pair
+        # Python scoring — the "before" of the columnar refactor.
+        store = ProfileStore.prepare(dataset.records)
+        return current.extract_batch_profiles_rows(store, id_pairs)
+
     def profiled() -> np.ndarray:
         # Preparation is part of the measured cost: the speedup must hold
         # end to end, not just on warm caches.
         store = ProfileStore.prepare(dataset.records)
         return current.extract_batch_profiles(store, id_pairs)
 
+    rows_seconds, rows_matrix = best_of(profiled_rows)
     profile_seconds, profile_matrix = best_of(profiled)
 
-    # All three implementations must agree bitwise before any timing counts.
+    # All implementations must agree bitwise before any timing counts.
     assert np.array_equal(seed_matrix, per_pair_matrix), "per-pair features drifted from seed"
-    assert np.array_equal(seed_matrix, profile_matrix), "profiled features drifted from seed"
+    assert np.array_equal(seed_matrix, rows_matrix), "store row path drifted from seed"
+    assert np.array_equal(rows_matrix, profile_matrix), (
+        "columnar extraction drifted from the per-pair store oracle"
+    )
 
     num_pairs = len(candidates)
     rows = [
@@ -309,13 +322,15 @@ def measure_extraction(
         for label, seconds in (
             ("seed (per-pair recompute)", seed_seconds),
             ("current --no-profile-cache", per_pair_seconds),
-            ("profile store (incl. prepare)", profile_seconds),
+            ("store rows (per-pair oracle)", rows_seconds),
+            ("profile store (columnar, incl. prepare)", profile_seconds),
         )
     ]
     speedups = {
         "profile_store_vs_seed": seed_seconds / profile_seconds,
         "profile_store_vs_per_pair": per_pair_seconds / profile_seconds,
         "per_pair_vs_seed": seed_seconds / per_pair_seconds,
+        "columnar_vs_store_rows": rows_seconds / profile_seconds,
     }
     return rows, speedups
 

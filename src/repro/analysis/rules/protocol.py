@@ -8,10 +8,12 @@ gates incremental index updates
 (:meth:`~repro.blocking.base.Blocking.delta_update`), and
 ``profile_capable`` gates profiled inference
 (:meth:`~repro.matching.base.PairwiseMatcher.prepare_profiles` /
-``decide_profiled``).  A flag set without the methods fails at *fan-out
-time* deep inside a worker; methods implemented without the flag silently
-never run.  Both drifts are statically visible, so this rule catches them
-at lint time.
+``decide_profiled``), and ``columnar_capable`` gates vectorised phase-2
+scoring over the columnar profile store
+(:meth:`~repro.matching.base.PairwiseMatcher.score_profiled`).  A flag set
+without the methods fails at *fan-out time* deep inside a worker; methods
+implemented without the flag silently never run.  Both drifts are
+statically visible, so this rule catches them at lint time.
 
 The module also exposes :func:`analyze_class` /
 :class:`ClassProtocolInfo` — the same analysis the registry↔lint
@@ -32,6 +34,7 @@ PROTOCOL_METHODS: dict[str, tuple[str, ...]] = {
     "shardable": ("prepare", "candidates_for"),
     "delta_capable": ("delta_update",),
     "profile_capable": ("prepare_profiles", "decide_profiled"),
+    "columnar_capable": ("score_profiled",),
 }
 
 #: Protocol methods with a working default implementation — overriding one
@@ -56,6 +59,7 @@ _FLAG_BASE_HINTS: dict[str, tuple[str, ...]] = {
     "shardable": ("Blocking",),
     "delta_capable": ("Blocking",),
     "profile_capable": ("Matcher",),
+    "columnar_capable": ("Matcher",),
 }
 
 
@@ -139,8 +143,9 @@ class ProtocolConformanceRule(LintRule):
 
     name = "protocol-conformance"
     description = (
-        "a class setting shardable/delta_capable/profile_capable = True "
-        "must implement the protocol's methods in its body, and vice versa"
+        "a class setting shardable/delta_capable/profile_capable/"
+        "columnar_capable = True must implement the protocol's methods in "
+        "its body, and vice versa"
     )
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+import numpy as np
+
 from repro.datagen.records import Record
 
 
@@ -71,6 +73,13 @@ class PairwiseMatcher(ABC):
     ``decide(pairs)`` on the corresponding record pairs **byte for byte**
     (same probabilities, same verdicts) — profiles precompute record-local
     work, they never change it.
+
+    Profiled matchers whose phase-2 scoring is vectorised over the columnar
+    :class:`~repro.matching.profiles.ProfileStore` additionally set
+    ``columnar_capable = True`` and implement :meth:`score_profiled`, the
+    array-in/array-out core :meth:`decide_profiled` is a thin wrapper over.
+    The flag and the method come as a pair — the protocol-conformance lint
+    rule enforces that a class declaring one declares the other.
     """
 
     #: Decision threshold applied to the match probability.
@@ -78,6 +87,11 @@ class PairwiseMatcher(ABC):
 
     #: Whether this matcher implements the profiled two-phase protocol.
     profile_capable: bool = False
+
+    #: Whether phase 2 is vectorised over the columnar store:
+    #: ``score_profiled`` returns the probability vector as one float64
+    #: array, with no per-pair Python in the scoring loop.
+    columnar_capable: bool = False
 
     @abstractmethod
     def predict_proba(self, pairs: Sequence[RecordPair]) -> list[float]:
@@ -138,6 +152,19 @@ class PairwiseMatcher(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support profiled inference "
             "(profile_capable=False)"
+        )
+
+    def score_profiled(self, profiles: Any, id_pairs: Sequence[IdPair]) -> np.ndarray:
+        """Columnar phase 2: the probability vector for one chunk of id pairs.
+
+        Returns a float64 array of length ``len(id_pairs)`` whose values are
+        bitwise those :meth:`decide_profiled` would attach to its decisions
+        — the columnar path changes where the arithmetic runs (array
+        expressions over the store's columns), never what it computes.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support columnar scoring "
+            "(columnar_capable=False)"
         )
 
     def decide_profiled_batches(

@@ -12,9 +12,24 @@ normalisation, tokenisation, identifier canonicalisation) live in
 :func:`~repro.matching.profiles.build_profile`, and the pair features score
 two profiles.  :meth:`PairFeatureExtractor.extract` builds both profiles on
 the spot (the classic pairwise-recompute behaviour, byte for byte), while
-:meth:`PairFeatureExtractor.extract_batch_profiles` reads them from a
-prepared :class:`~repro.matching.profiles.ProfileStore` — the
+:meth:`PairFeatureExtractor.extract_batch_profiles` scores id pairs against
+a prepared :class:`~repro.matching.profiles.ProfileStore` — the
 prepare-once/score-many hot path of the execution engine.
+
+Since the columnar refactor the store path is vectorised: every
+``FEATURE_NAMES`` column is computed as array ops over row-index pairs.
+Set-overlap features run as sorted-id intersection counts over the store's
+CSR columns, attribute agreements as interned-id equality, and the string
+similarities as batched kernels (:mod:`repro.text.batch_similarity`) over
+the *deduplicated* unique string pairs, gathered back per pair through the
+store's similarity memo caches.  The byte-identity contract carries over
+from the row path: every column replays the same float64 operations on the
+same values as the scalar extraction (int→float divisions of exact counts,
+kernels bitwise-equal to their scalar forms), so the matrix is bitwise
+identical to :meth:`PairFeatureExtractor.extract_batch_profiles_rows` — the
+retained per-pair reference implementation — which is itself bitwise
+identical to per-pair recompute.  Hypothesis-pinned in
+``tests/matching/test_profiles.py``.
 """
 
 from __future__ import annotations
@@ -26,10 +41,21 @@ import numpy as np
 from repro.datagen.records import Record
 from repro.matching.profiles import (
     KIND_COMPANY,
+    KIND_NAMES,
     KIND_SECURITY,
+    IdSetColumn,
     ProfileStore,
     RecordProfile,
     build_profile,
+    sorted_intersection_counts,
+)
+from repro.text.batch_similarity import (
+    PAD_LEFT,
+    PAD_RIGHT,
+    jaro_winkler_similarity_packed,
+    levenshtein_similarity_packed,
+    longest_common_substring_similarity_packed,
+    pack_codepoints,
 )
 from repro.text.similarity import (
     jaccard_similarity,
@@ -38,6 +64,315 @@ from repro.text.similarity import (
     longest_common_substring_similarity,
     overlap_coefficient,
 )
+
+_COMPANY_CODE = KIND_NAMES.index(KIND_COMPANY)
+_SECURITY_CODE = KIND_NAMES.index(KIND_SECURITY)
+
+
+# -- columnar building blocks -------------------------------------------------
+
+
+def _unique_id_pairs(
+    left_ids: np.ndarray, right_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(unique left ids, unique right ids, inverse) for an ordered id-pair list.
+
+    Packs each (left, right) interned-id pair into one int64 key (ids are
+    int32, so the shift is lossless); the expensive string work then runs
+    once per *distinct* pair and is gathered back through ``inverse``.
+    """
+    keys = (left_ids.astype(np.int64) << 32) | right_ids.astype(np.int64)
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    return (unique_keys >> 32), (unique_keys & 0xFFFFFFFF), inverse
+
+
+def _pack_missing_pairs(
+    strings: Sequence[str],
+    left_ids: np.ndarray,
+    right_ids: np.ndarray,
+    missing: list[int],
+) -> tuple[np.ndarray, ...]:
+    """Packed codepoint matrices + ids for the cache-missing unique pairs.
+
+    Each *distinct* string id is packed exactly once per side and gathered
+    back per pair — on dense candidate sets (many pairs over few records)
+    that cuts the Python-level packing work by another order of magnitude.
+    Also returns the pair-equality mask, decided on interned ids without
+    touching characters, and the per-row interned ids themselves, which the
+    bit-parallel kernels use to dedup their equality tables exactly.
+    """
+    miss_left = left_ids[missing]
+    miss_right = right_ids[missing]
+    distinct_left, inverse_left = np.unique(miss_left, return_inverse=True)
+    distinct_right, inverse_right = np.unique(miss_right, return_inverse=True)
+    left_codes, left_lengths = pack_codepoints(
+        [strings[index] for index in distinct_left], fill=PAD_LEFT
+    )
+    right_codes, right_lengths = pack_codepoints(
+        [strings[index] for index in distinct_right], fill=PAD_RIGHT
+    )
+    return (
+        left_codes[inverse_left],
+        left_lengths[inverse_left],
+        right_codes[inverse_right],
+        right_lengths[inverse_right],
+        miss_left == miss_right,
+        miss_left,
+        miss_right,
+    )
+
+
+def _pad_concat(first: np.ndarray, second: np.ndarray, fill: int) -> np.ndarray:
+    """Stack two packed codepoint matrices, padding the narrower with ``fill``."""
+    width = max(first.shape[1], second.shape[1])
+
+    def widen(codes: np.ndarray) -> np.ndarray:
+        if codes.shape[1] == width:
+            return codes
+        out = np.full((codes.shape[0], width), fill, dtype=np.int32)
+        out[:, : codes.shape[1]] = codes
+        return out
+
+    return np.concatenate((widen(first), widen(second)))
+
+
+def _concat_packed(first, second):
+    """Concatenate two ``_pack_missing_pairs`` results into one batch.
+
+    Extra padding columns cannot change any kernel value: the distinct
+    left/right pad codes never compare equal and every kernel is bounded by
+    the per-row lengths, which are carried through unchanged.
+    """
+    if first is None:
+        return second
+    if second is None:
+        return first
+    return (
+        _pad_concat(first[0], second[0], PAD_LEFT),
+        np.concatenate((first[1], second[1])),
+        _pad_concat(first[2], second[2], PAD_RIGHT),
+        np.concatenate((first[3], second[3])),
+        np.concatenate((first[4], second[4])),
+        np.concatenate((first[5], second[5])),
+        np.concatenate((first[6], second[6])),
+    )
+
+
+def gather_pair_similarities(
+    store: ProfileStore, left_rows: np.ndarray, right_rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pair (name jw, name lev, name lcs, stripped jw) in one sweep.
+
+    Semantically :func:`gather_name_similarities` +
+    :func:`gather_stripped_similarities` (same caches, same keys, same
+    values), but the two Jaro–Winkler kernel invocations are fused into one
+    packed batch over the union of cache-missing pairs — per-DP-step fixed
+    costs are paid once instead of twice on the extraction hot path.
+    """
+    strings = store.strings
+
+    name_left, name_right, name_inverse = _unique_id_pairs(
+        store.name_ids[left_rows], store.name_ids[right_rows]
+    )
+    name_cache = store.name_similarity_cache
+    name_count = len(name_left)
+    name_keys = list(
+        zip(
+            [strings[i] for i in name_left.tolist()],
+            [strings[i] for i in name_right.tolist()],
+        )
+    )
+    name_jw = np.empty(name_count, dtype=np.float64)
+    name_lev = np.empty(name_count, dtype=np.float64)
+    name_lcs = np.empty(name_count, dtype=np.float64)
+    name_missing: list[int] = []
+    if name_cache:
+        for index, key in enumerate(name_keys):
+            sims = name_cache.get(key)
+            if sims is None:
+                name_missing.append(index)
+            else:
+                name_jw[index], name_lev[index], name_lcs[index] = sims
+    else:
+        name_missing = list(range(name_count))
+
+    stripped_left, stripped_right, stripped_inverse = _unique_id_pairs(
+        store.stripped_ids[left_rows], store.stripped_ids[right_rows]
+    )
+    stripped_cache = store.stripped_similarity_cache
+    stripped_count = len(stripped_left)
+    stripped_keys = list(
+        zip(
+            [strings[i] for i in stripped_left.tolist()],
+            [strings[i] for i in stripped_right.tolist()],
+        )
+    )
+    stripped_jw = np.empty(stripped_count, dtype=np.float64)
+    stripped_missing: list[int] = []
+    if stripped_cache:
+        for index, key in enumerate(stripped_keys):
+            value = stripped_cache.get(key)
+            if value is None:
+                stripped_missing.append(index)
+            else:
+                stripped_jw[index] = value
+    else:
+        stripped_missing = list(range(stripped_count))
+
+    if name_missing or stripped_missing:
+        name_packed = (
+            _pack_missing_pairs(strings, name_left, name_right, name_missing)
+            if name_missing
+            else None
+        )
+        stripped_packed = (
+            _pack_missing_pairs(
+                strings, stripped_left, stripped_right, stripped_missing
+            )
+            if stripped_missing
+            else None
+        )
+        merged = _concat_packed(name_packed, stripped_packed)
+        jw_new = jaro_winkler_similarity_packed(
+            *merged[:5], a_ids=merged[5], b_ids=merged[6]
+        )
+        if name_missing:
+            lev_new = levenshtein_similarity_packed(
+                *name_packed[:5], a_ids=name_packed[5], b_ids=name_packed[6]
+            )
+            lcs_new = longest_common_substring_similarity_packed(*name_packed[:5])
+            triples = list(
+                zip(
+                    jw_new[: len(name_missing)].tolist(),
+                    lev_new.tolist(),
+                    lcs_new.tolist(),
+                )
+            )
+            for slot, index in enumerate(name_missing):
+                values = triples[slot]
+                name_cache[name_keys[index]] = values
+                name_jw[index], name_lev[index], name_lcs[index] = values
+        if stripped_missing:
+            values_new = jw_new[len(name_missing) :].tolist()
+            for slot, index in enumerate(stripped_missing):
+                value = values_new[slot]
+                stripped_cache[stripped_keys[index]] = value
+                stripped_jw[index] = value
+
+    return (
+        name_jw[name_inverse],
+        name_lev[name_inverse],
+        name_lcs[name_inverse],
+        stripped_jw[stripped_inverse],
+    )
+
+
+def gather_name_similarities(
+    store: ProfileStore, left_rows: np.ndarray, right_rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pair (jaro_winkler, levenshtein, lcs) over normalised names.
+
+    Deduplicates the string pairs, serves hits from the store's
+    ``name_similarity_cache`` (same keys and values as the row path — the
+    caches are shared), computes misses with the batched kernels (bitwise
+    equal to the scalar functions) and memoises them back.
+    """
+    unique_left, unique_right, inverse = _unique_id_pairs(
+        store.name_ids[left_rows], store.name_ids[right_rows]
+    )
+    strings = store.strings
+    cache = store.name_similarity_cache
+    count = len(unique_left)
+    jaro_winkler = np.empty(count, dtype=np.float64)
+    levenshtein = np.empty(count, dtype=np.float64)
+    lcs = np.empty(count, dtype=np.float64)
+    missing: list[int] = []
+    for index in range(count):
+        key = (strings[unique_left[index]], strings[unique_right[index]])
+        sims = cache.get(key)
+        if sims is None:
+            missing.append(index)
+        else:
+            jaro_winkler[index], levenshtein[index], lcs[index] = sims
+    if missing:
+        packed = _pack_missing_pairs(strings, unique_left, unique_right, missing)
+        jw_new = jaro_winkler_similarity_packed(
+            *packed[:5], a_ids=packed[5], b_ids=packed[6]
+        )
+        lev_new = levenshtein_similarity_packed(
+            *packed[:5], a_ids=packed[5], b_ids=packed[6]
+        )
+        lcs_new = longest_common_substring_similarity_packed(*packed[:5])
+        for slot, index in enumerate(missing):
+            values = (float(jw_new[slot]), float(lev_new[slot]), float(lcs_new[slot]))
+            cache[(strings[unique_left[index]], strings[unique_right[index]])] = values
+            jaro_winkler[index], levenshtein[index], lcs[index] = values
+    return jaro_winkler[inverse], levenshtein[inverse], lcs[inverse]
+
+
+def gather_stripped_similarities(
+    store: ProfileStore, left_rows: np.ndarray, right_rows: np.ndarray
+) -> np.ndarray:
+    """Per-pair Jaro–Winkler over corporate-term-stripped names (memoised)."""
+    unique_left, unique_right, inverse = _unique_id_pairs(
+        store.stripped_ids[left_rows], store.stripped_ids[right_rows]
+    )
+    strings = store.strings
+    cache = store.stripped_similarity_cache
+    count = len(unique_left)
+    similarities = np.empty(count, dtype=np.float64)
+    missing: list[int] = []
+    for index in range(count):
+        key = (strings[unique_left[index]], strings[unique_right[index]])
+        value = cache.get(key)
+        if value is None:
+            missing.append(index)
+        else:
+            similarities[index] = value
+    if missing:
+        packed = _pack_missing_pairs(strings, unique_left, unique_right, missing)
+        jw_new = jaro_winkler_similarity_packed(
+            *packed[:5], a_ids=packed[5], b_ids=packed[6]
+        )
+        for slot, index in enumerate(missing):
+            value = float(jw_new[slot])
+            cache[(strings[unique_left[index]], strings[unique_right[index]])] = value
+            similarities[index] = value
+    return similarities[inverse]
+
+
+def _jaccard_counts(
+    shared: np.ndarray, left_sizes: np.ndarray, right_sizes: np.ndarray
+) -> np.ndarray:
+    """Vector Jaccard from intersection counts; both-empty is 1.0 by definition."""
+    union = left_sizes + right_sizes - shared
+    out = np.ones(len(shared), dtype=np.float64)
+    nonempty = union > 0
+    out[nonempty] = shared[nonempty].astype(np.float64) / union[nonempty].astype(
+        np.float64
+    )
+    return out
+
+
+def _overlap_counts(
+    shared: np.ndarray, left_sizes: np.ndarray, right_sizes: np.ndarray
+) -> np.ndarray:
+    """Vector overlap coefficient; both-empty 1.0, either-empty 0.0."""
+    out = np.zeros(len(shared), dtype=np.float64)
+    out[(left_sizes == 0) & (right_sizes == 0)] = 1.0
+    both = (left_sizes > 0) & (right_sizes > 0)
+    out[both] = shared[both].astype(np.float64) / np.minimum(
+        left_sizes[both], right_sizes[both]
+    ).astype(np.float64)
+    return out
+
+
+def _set_features(
+    column: IdSetColumn, left_rows: np.ndarray, right_rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(intersection counts, left sizes, right sizes) for one CSR set column."""
+    shared = sorted_intersection_counts(column, left_rows, right_rows)
+    return shared, column.lengths(left_rows), column.lengths(right_rows)
 
 
 class PairFeatureExtractor:
@@ -116,11 +451,143 @@ class PairFeatureExtractor:
     def extract_batch_profiles(
         self, profiles: ProfileStore, id_pairs: Sequence[tuple[str, str]]
     ) -> np.ndarray:
-        """Feature matrix for id pairs resolved against a prepared store.
+        """Feature matrix for id pairs, vectorised over the columnar store.
 
-        The hot path of the execution engine's profiled inference: the store
-        was built once (each record profiled exactly once, however many
-        pairs it appears in) and each row here is pure pairwise scoring.
+        The hot path of the execution engine's profiled inference: each
+        feature column is one array expression over the row-index pairs, and
+        only the deduplicated distinct string pairs touch Python-level
+        string code (inside the batched kernels).  Bitwise identical to
+        :meth:`extract_batch_profiles_rows` — dtype float64 throughout, the
+        same left-to-right scalar operations per value — which the golden
+        suites and a hypothesis test pin.
+        """
+        if not id_pairs:
+            return np.zeros((0, self.num_features), dtype=np.float64)
+        left_rows, right_rows = profiles.row_indices(id_pairs)
+
+        name_jw, name_lev, name_lcs, stripped_jw = gather_pair_similarities(
+            profiles, left_rows, right_rows
+        )
+
+        name_shared, name_left, name_right = _set_features(
+            profiles.name_token_sets, left_rows, right_rows
+        )
+        stripped_shared, stripped_left, stripped_right = _set_features(
+            profiles.stripped_token_sets, left_rows, right_rows
+        )
+        description_shared, description_left, description_right = _set_features(
+            profiles.description_token_sets, left_rows, right_rows
+        )
+        # Gated on both token sets nonempty (matching the row path), else 0.
+        description_jaccard = np.zeros(len(left_rows), dtype=np.float64)
+        both_described = (description_left > 0) & (description_right > 0)
+        description_union = (
+            description_left + description_right - description_shared
+        )
+        description_jaccard[both_described] = description_shared[
+            both_described
+        ].astype(np.float64) / description_union[both_described].astype(np.float64)
+
+        overlaps, conflicts, isin_overlap = self._identifier_columns(
+            profiles, left_rows, right_rows
+        )
+
+        attr_left = profiles.attr_ids[left_rows]
+        attr_right = profiles.attr_ids[right_rows]
+        # 0.5 if either side missing (id 0 == empty string), else 1/0 equality.
+        attr_match = np.where(
+            (attr_left == 0) | (attr_right == 0),
+            0.5,
+            (attr_left == attr_right).astype(np.float64),
+        )
+
+        matrix = np.column_stack(
+            (
+                name_jw,
+                name_lev,
+                _jaccard_counts(name_shared, name_left, name_right),
+                _overlap_counts(name_shared, name_left, name_right),
+                name_lcs,
+                stripped_jw,
+                _jaccard_counts(stripped_shared, stripped_left, stripped_right),
+                description_jaccard,
+                (
+                    profiles.has_description[left_rows]
+                    & profiles.has_description[right_rows]
+                ).astype(np.float64),
+                attr_match[:, 0],  # city
+                attr_match[:, 1],  # region
+                attr_match[:, 2],  # country_code
+                attr_match[:, 3],  # industry
+                attr_match[:, 4],  # security_type
+                overlaps.astype(np.float64),
+                conflicts.astype(np.float64),
+                isin_overlap,
+                attr_match[:, 5],  # ticker
+                (
+                    profiles.source_ids[left_rows] == profiles.source_ids[right_rows]
+                ).astype(np.float64),
+            )
+        )
+        return np.ascontiguousarray(matrix)
+
+    @staticmethod
+    def _identifier_columns(
+        profiles: ProfileStore, left_rows: np.ndarray, right_rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar (overlap count, conflict count, ISIN overlap flag).
+
+        Same-kind gating mirrors :meth:`_identifier_features`: securities
+        compare field-aligned identifier ids (0 == missing skips the field),
+        companies intersect their ISIN id sets; mixed pairs stay neutral.
+        """
+        count = len(left_rows)
+        overlaps = np.zeros(count, dtype=np.int64)
+        conflicts = np.zeros(count, dtype=np.int64)
+        isin_overlap = np.zeros(count, dtype=np.float64)
+
+        kinds_left = profiles.kind_codes[left_rows]
+        kinds_right = profiles.kind_codes[right_rows]
+
+        security_pairs = (kinds_left == _SECURITY_CODE) & (
+            kinds_right == _SECURITY_CODE
+        )
+        if security_pairs.any():
+            ids_left = profiles.identifier_ids[left_rows[security_pairs]]
+            ids_right = profiles.identifier_ids[right_rows[security_pairs]]
+            present = (ids_left != 0) & (ids_right != 0)
+            equal = present & (ids_left == ids_right)
+            pair_overlaps = equal.sum(axis=1)
+            overlaps[security_pairs] = pair_overlaps
+            conflicts[security_pairs] = (present & ~equal).sum(axis=1)
+            isin_overlap[security_pairs] = (pair_overlaps > 0).astype(np.float64)
+
+        company_pairs = (kinds_left == _COMPANY_CODE) & (
+            kinds_right == _COMPANY_CODE
+        )
+        if company_pairs.any():
+            shared, sizes_left, sizes_right = _set_features(
+                profiles.isin_sets,
+                left_rows[company_pairs],
+                right_rows[company_pairs],
+            )
+            overlaps[company_pairs] = shared
+            conflicts[company_pairs] = (
+                (sizes_left > 0) & (sizes_right > 0) & (shared == 0)
+            ).astype(np.int64)
+            isin_overlap[company_pairs] = (shared > 0).astype(np.float64)
+
+        return overlaps, conflicts, isin_overlap
+
+    def extract_batch_profiles_rows(
+        self, profiles: ProfileStore, id_pairs: Sequence[tuple[str, str]]
+    ) -> np.ndarray:
+        """Row-at-a-time reference implementation of the store path.
+
+        Scores each pair through :meth:`_pair_values` on materialised
+        profiles — the pre-columnar hot path, kept as the bitwise oracle the
+        vectorised :meth:`extract_batch_profiles` is benched and tested
+        against.
         """
         if not id_pairs:
             return np.zeros((0, self.num_features), dtype=np.float64)
@@ -141,10 +608,9 @@ class PairFeatureExtractor:
     ) -> tuple[float, ...]:
         """The feature tuple for one profile pair.
 
-        Rows are assigned into preallocated float64 matrices (less allocator
-        churn than stacking per-pair arrays); every value is computed by the
-        same similarity call on the same derived strings/sets as the
-        historical per-pair extraction, keeping results byte-identical.
+        Every value is computed by the same similarity call on the same
+        derived strings/sets as the historical per-pair extraction, keeping
+        results byte-identical.
 
         With a ``store``, the name-similarity block is memoised per distinct
         string pair in the store's similarity caches — records repeating a

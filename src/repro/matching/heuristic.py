@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.datagen.identifiers import identifier_overlap
 from repro.datagen.records import CompanyRecord, Record, SecurityRecord
 from repro.matching.base import IdPair, MatchDecision, PairwiseMatcher, RecordPair
+from repro.matching.features import gather_stripped_similarities
 from repro.matching.profiles import ProfileStore, record_name
 from repro.text.normalize import normalize_identifier, strip_corporate_terms
 from repro.text.similarity import jaro_winkler_similarity
@@ -58,6 +61,10 @@ class ThresholdNameMatcher(PairwiseMatcher):
     #: pairs then only pay the Jaro–Winkler comparison.
     profile_capable = True
 
+    #: Profiled scoring runs the batched Jaro–Winkler kernel over the
+    #: store's interned stripped-name ids — one array sweep per chunk.
+    columnar_capable = True
+
     def __init__(self, similarity_threshold: float = 0.92) -> None:
         if not 0.0 <= similarity_threshold <= 1.0:
             raise ValueError("similarity_threshold must be in [0, 1]")
@@ -84,24 +91,29 @@ class ThresholdNameMatcher(PairwiseMatcher):
     def prepare_profiles(self, records: Iterable[Record]) -> ProfileStore:
         return ProfileStore.prepare(records)
 
+    def score_profiled(
+        self, profiles: ProfileStore, id_pairs: Sequence[IdPair]
+    ) -> np.ndarray:
+        # The store's stripped-name column is strip_corporate_terms applied
+        # to record_name, and the batched kernel is bitwise-equal to the
+        # scalar jaro_winkler_similarity — so this vector holds exactly the
+        # probabilities decide() computes on the record pairs.
+        if not id_pairs:
+            return np.zeros(0, dtype=np.float64)
+        left_rows, right_rows = profiles.row_indices(id_pairs)
+        similarities = gather_stripped_similarities(profiles, left_rows, right_rows)
+        return np.where(similarities >= self.similarity_threshold, 1.0, similarities)
+
     def decide_profiled(
         self, profiles: ProfileStore, id_pairs: Sequence[IdPair]
     ) -> list[MatchDecision]:
-        # RecordProfile.stripped_name is strip_corporate_terms(record_name),
-        # so this path is byte-identical to decide() on the record pairs.
-        decisions = []
-        for left_id, right_id in id_pairs:
-            similarity = jaro_winkler_similarity(
-                profiles.get(left_id).stripped_name,
-                profiles.get(right_id).stripped_name,
+        probabilities = self.score_profiled(profiles, id_pairs)
+        return [
+            MatchDecision(
+                left_id=left_id,
+                right_id=right_id,
+                probability=float(probability),
+                is_match=float(probability) >= self.threshold,
             )
-            probability = self._probability(similarity)
-            decisions.append(
-                MatchDecision(
-                    left_id=left_id,
-                    right_id=right_id,
-                    probability=probability,
-                    is_match=probability >= self.threshold,
-                )
-            )
-        return decisions
+            for (left_id, right_id), probability in zip(id_pairs, probabilities)
+        ]

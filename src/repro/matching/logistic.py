@@ -51,6 +51,10 @@ class LogisticRegressionMatcher(TrainablePairwiseMatcher):
     #: store once and feed this matcher bare id pairs.
     profile_capable = True
 
+    #: Profiled scoring is one feature-matrix extraction plus row-local
+    #: array arithmetic — no per-pair Python until decisions are built.
+    columnar_capable = True
+
     def __init__(
         self,
         learning_rate: float = 0.5,
@@ -195,7 +199,7 @@ class LogisticRegressionMatcher(TrainablePairwiseMatcher):
         features = self._scale(self.extractor.extract_batch(pairs))
         return self._probabilities(features)
 
-    def _probabilities(self, scaled_features: np.ndarray) -> list[float]:
+    def _probability_vector(self, scaled_features: np.ndarray) -> np.ndarray:
         # Row-local on purpose: each pair's logit is an elementwise product
         # reduced along its own row, never one batched gemv — BLAS may pick
         # different accumulation paths at different matrix heights, which
@@ -206,8 +210,10 @@ class LogisticRegressionMatcher(TrainablePairwiseMatcher):
         # a probability scored under one chunking inside a run that chose
         # another) relies on.
         logits = (scaled_features * self._weights).sum(axis=1)
-        probabilities = _sigmoid(logits + self._bias)
-        return [float(p) for p in probabilities]
+        return _sigmoid(logits + self._bias)
+
+    def _probabilities(self, scaled_features: np.ndarray) -> list[float]:
+        return [float(p) for p in self._probability_vector(scaled_features)]
 
     # -- profiled inference -------------------------------------------------------
 
@@ -215,21 +221,31 @@ class LogisticRegressionMatcher(TrainablePairwiseMatcher):
         """Profile every record once; pairs are then scored by id."""
         return self.extractor.prepare(records)
 
-    def predict_proba_profiled(
+    def score_profiled(
         self, profiles: ProfileStore, id_pairs: Sequence[IdPair]
-    ) -> list[float]:
-        """Match probabilities for id pairs resolved against a profile store.
+    ) -> np.ndarray:
+        """Probability vector for id pairs resolved against a profile store.
 
-        Byte-identical to :meth:`predict_proba` on the corresponding record
-        pairs: the feature matrix holds the same float64 values in the same
-        shape, so scaling and the BLAS reduction see identical inputs.
+        The columnar phase-2 core: feature extraction, scaling and the
+        row-local logit reduction are all array expressions — the only
+        per-pair Python left in profiled inference is building the decision
+        objects.  Byte-identical to :meth:`predict_proba` on the
+        corresponding record pairs: the feature matrix holds the same
+        float64 values in the same shape, so scaling and the row-local
+        reduction see identical inputs.
         """
         if self._weights is None:
             raise RuntimeError("matcher must be fitted before predicting")
         if not id_pairs:
-            return []
+            return np.zeros(0, dtype=np.float64)
         features = self._scale(self.extractor.extract_batch_profiles(profiles, id_pairs))
-        return self._probabilities(features)
+        return self._probability_vector(features)
+
+    def predict_proba_profiled(
+        self, profiles: ProfileStore, id_pairs: Sequence[IdPair]
+    ) -> list[float]:
+        """Match probabilities for id pairs, as plain floats."""
+        return [float(p) for p in self.score_profiled(profiles, id_pairs)]
 
     def decide_profiled(
         self, profiles: ProfileStore, id_pairs: Sequence[IdPair]

@@ -129,15 +129,10 @@ def filter_easy_pairs(
     """
     selected: list[LabeledPair] = []
     for pair in pairs:
-        if pair.label == 0:
+        if pair.label == 0 or _pair_matchable_via_identifiers(pair.left, pair.right):
             selected.append(pair)
-            continue
-        if _pair_matchable_via_identifiers(pair.left, pair.right):
-            selected.append(pair)
-        if max_pairs is not None and len(selected) >= max_pairs:
-            break
-    if max_pairs is not None:
-        selected = selected[:max_pairs]
+            if max_pairs is not None and len(selected) >= max_pairs:
+                break
     return selected
 
 

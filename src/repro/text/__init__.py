@@ -10,6 +10,8 @@ plain Python + numpy:
 * :mod:`repro.text.tokenize` — word and character n-gram tokenisers plus a
   trainable :class:`~repro.text.tokenize.Vocabulary`,
 * :mod:`repro.text.similarity` — classic string similarity measures,
+* :mod:`repro.text.batch_similarity` — the same measures as batched numpy
+  kernels over deduplicated pair lists (bitwise-equal to the scalar forms),
 * :mod:`repro.text.vectorize` — TF-IDF and hashing vectorisers,
 * :mod:`repro.text.serialize` — record-pair serialisation schemes (plain and
   DITTO-style ``[COL]/[VAL]`` encoding) with token budgets.
@@ -32,6 +34,11 @@ from repro.text.similarity import (
     levenshtein_similarity,
     longest_common_substring,
     overlap_coefficient,
+)
+from repro.text.batch_similarity import (
+    jaro_winkler_similarity_batch,
+    levenshtein_similarity_batch,
+    longest_common_substring_similarity_batch,
 )
 from repro.text.vectorize import HashingVectorizer, TfidfVectorizer
 from repro.text.serialize import (
@@ -57,6 +64,9 @@ __all__ = [
     "levenshtein_similarity",
     "longest_common_substring",
     "overlap_coefficient",
+    "jaro_winkler_similarity_batch",
+    "levenshtein_similarity_batch",
+    "longest_common_substring_similarity_batch",
     "HashingVectorizer",
     "TfidfVectorizer",
     "PLAIN_SCHEME",

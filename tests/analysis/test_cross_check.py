@@ -126,6 +126,47 @@ class TestMatcherFlags:
             )
 
 
+class TestColumnarFlags:
+    def test_columnar_matchers_override_score_profiled(self):
+        from repro.matching.base import PairwiseMatcher
+
+        columnar = [
+            cls
+            for cls in matcher_classes()
+            if bool(getattr(cls, "columnar_capable", False))
+        ]
+        assert columnar  # the repo ships columnar matchers
+        for cls in columnar:
+            for method in PROTOCOL_METHODS["columnar_capable"]:
+                assert getattr(cls, method) is not getattr(PairwiseMatcher, method), (
+                    f"{cls.__name__}: columnar_capable=True but {method}() "
+                    "is the base-class stub"
+                )
+            assert info_for(cls).flags.get("columnar_capable") is True, (
+                f"{cls.__name__} relies on an inherited columnar_capable flag "
+                "the linter cannot see"
+            )
+
+    def test_columnar_implies_profiled(self):
+        # score_profiled consumes the profile store prepare_profiles builds,
+        # so the columnar protocol only makes sense inside the profiled one.
+        for cls in matcher_classes():
+            if bool(getattr(cls, "columnar_capable", False)):
+                assert bool(getattr(cls, "profile_capable", False)), (
+                    f"{cls.__name__}: columnar_capable=True requires "
+                    "profile_capable=True"
+                )
+
+    def test_declared_columnar_flags_match_runtime(self):
+        for cls in matcher_classes():
+            declared = info_for(cls).flags.get("columnar_capable")
+            if declared is not None:
+                assert declared == bool(getattr(cls, "columnar_capable", False)), (
+                    f"{cls.__name__}: body declares columnar_capable={declared} "
+                    "but the runtime flag disagrees"
+                )
+
+
 class TestCleanupsResolve:
     def test_every_registered_cleanup_resolves(self):
         # Clean-ups carry no protocol flags; the cross-check is that every

@@ -42,6 +42,32 @@ class TestFlagWithoutMethods:
         assert len(findings) == 1
         assert "prepare_profiles" in findings[0].message
 
+    def test_columnar_capable_without_score_profiled_is_caught(self):
+        source = "class M:\n    columnar_capable = True\n"
+        findings = findings_of(source, module="repro.matching.fixture")
+        assert len(findings) == 1
+        assert "score_profiled" in findings[0].message
+
+    def test_columnar_protocol_complete_is_clean(self):
+        source = (
+            "class M:\n"
+            "    columnar_capable = True\n"
+            "\n"
+            "    def score_profiled(self, profiles, id_pairs):\n"
+            "        return profiles.score(id_pairs)\n"
+        )
+        assert findings_of(source, module="repro.matching.fixture") == []
+
+    def test_score_profiled_without_flag_on_a_matcher_base_warns(self):
+        source = (
+            "class M(PairwiseMatcher):\n"
+            "    def score_profiled(self, profiles, id_pairs):\n"
+            "        return profiles.score(id_pairs)\n"
+        )
+        findings = findings_of(source, module="repro.matching.fixture")
+        assert len(findings) == 1
+        assert "columnar_capable" in findings[0].message
+
     def test_complete_protocol_is_clean(self):
         source = (
             "class Sharded:\n"

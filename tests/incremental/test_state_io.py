@@ -22,6 +22,11 @@ from repro.incremental.state import MANIFEST_FILE
 from repro.matching.profiles import ProfileStore
 
 
+def _columnar_payload_bytes(store: ProfileStore) -> bytes:
+    """The store's pickled columnar payload, bytes-for-bytes."""
+    return pickle.dumps(store.__getstate__())
+
+
 @pytest.fixture
 def saved_state(golden_setup, pipeline_factory, tmp_path):
     companies, _ = golden_setup
@@ -207,8 +212,12 @@ class TestProfileStoreRoundTrip:
         matcher.save(state_dir)
         reloaded = IncrementalMatcher.load(state_dir).state.profiles
 
-        # Bitwise-identical extracted features and identical profile dicts.
-        assert reloaded._profiles == store._profiles
+        # Bitwise-identical columnar payload and identical materialised profiles.
+        assert _columnar_payload_bytes(reloaded) == _columnar_payload_bytes(store)
+        assert all(
+            reloaded.get(record_id) == store.get(record_id)
+            for record_id in store.record_ids
+        )
         # Memos are dropped on serialisation (like the pickling path) ...
         assert reloaded.name_similarity_cache == {}
         assert reloaded.stripped_similarity_cache == {}
@@ -225,7 +234,7 @@ class TestProfileStoreRoundTrip:
         matcher, _ = saved_state
         store = matcher.state.profiles
         repickled = pickle.loads(pickle.dumps(store))
-        assert repickled._profiles == store._profiles
+        assert _columnar_payload_bytes(repickled) == _columnar_payload_bytes(store)
         assert repickled.name_similarity_cache == {}
 
     def test_store_grows_across_reload_and_further_ingest(

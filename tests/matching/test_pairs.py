@@ -102,6 +102,36 @@ class TestFilterEasyPairs:
         filtered = filter_easy_pairs(pairs, max_pairs=20)
         assert len(filtered) <= 20
 
+    def test_budget_breaks_early_on_negatives(self, securities, monkeypatch):
+        # Regression: the label == 0 branch used to `continue` past the
+        # max_pairs early-exit, so a negatives-heavy stream scanned (and
+        # identifier-checked) every remaining pair and relied on a final
+        # truncation.  The budget check must now run for every append.
+        import repro.matching.pairs as pairs_module
+
+        pairs = build_labeled_pairs(securities, negative_ratio=1, seed=0)
+        negatives = [p for p in pairs if p.label == 0]
+        positives = [p for p in pairs if p.label == 1]
+        assert len(negatives) >= 20 and positives
+        stream = negatives + positives
+
+        calls = []
+        real_check = pairs_module._pair_matchable_via_identifiers
+        monkeypatch.setattr(
+            pairs_module,
+            "_pair_matchable_via_identifiers",
+            lambda left, right: calls.append(1) or real_check(left, right),
+        )
+        filtered = filter_easy_pairs(stream, max_pairs=20)
+        assert filtered == negatives[:20]
+        assert not calls, "filled the budget on negatives; positives must not be scanned"
+
+    def test_budget_exact_when_boundary_lands_on_negative(self, securities):
+        pairs = build_labeled_pairs(securities, negative_ratio=1, seed=0)
+        negatives = [p for p in pairs if p.label == 0]
+        filtered = filter_easy_pairs(negatives, max_pairs=7)
+        assert filtered == negatives[:7]
+
     def test_companies_use_security_isins(self, companies):
         pairs = build_labeled_pairs(companies, negative_ratio=0, seed=0)
         filtered = filter_easy_pairs(pairs)

@@ -246,6 +246,69 @@ class TestProfileEquivalence:
             assert np.array_equal(row, reference_extract(left, right))
 
 
+class TestColumnarBatchEquivalence:
+    """The vectorised store path against the per-pair row oracle.
+
+    ``extract_batch_profiles`` must be byte-for-byte the matrix
+    ``extract_batch_profiles_rows`` produces — over randomized record
+    mixes, duplicated pairs (the memo/dedup path), repeated extraction
+    (warm caches), and a pickled clone of the store (the worker-shipping
+    path, which drops the memos).
+    """
+
+    extractor = PairFeatureExtractor()
+
+    @given(st.lists(any_record, min_size=1, max_size=10), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_columnar_equals_rows_warm_and_pickled(self, records, data):
+        import pickle
+
+        store = ProfileStore.prepare(records)
+        ids = [record.record_id for record in records]
+        index_pairs = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, len(ids) - 1), st.integers(0, len(ids) - 1)
+                ),
+                max_size=12,
+            )
+        )
+        id_pairs = [(ids[i], ids[j]) for i, j in index_pairs]
+        id_pairs += id_pairs[:3]  # duplicates exercise the dedup/memo path
+
+        reference = self.extractor.extract_batch_profiles_rows(store, id_pairs)
+        cold = self.extractor.extract_batch_profiles(store, id_pairs)
+        warm = self.extractor.extract_batch_profiles(store, id_pairs)
+        assert cold.tobytes() == reference.tobytes()
+        assert warm.tobytes() == reference.tobytes()
+
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.name_similarity_cache == {}  # memos are transient
+        rescored = self.extractor.extract_batch_profiles(clone, id_pairs)
+        assert rescored.tobytes() == reference.tobytes()
+
+    def test_empty_pair_list(self):
+        store = ProfileStore.prepare(
+            [CompanyRecord(record_id="a", source="S1", entity_id="e", name="Acme")]
+        )
+        matrix = self.extractor.extract_batch_profiles(store, [])
+        assert matrix.shape == (0, self.extractor.num_features)
+        assert matrix.dtype == np.float64
+        rows = self.extractor.extract_batch_profiles_rows(store, [])
+        assert rows.shape == matrix.shape
+
+    def test_empty_store_roundtrip(self):
+        import pickle
+
+        store = ProfileStore.prepare([])
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(clone) == 0
+        assert self.extractor.extract_batch_profiles(clone, []).shape == (
+            0,
+            self.extractor.num_features,
+        )
+
+
 class TestProfileEdgeCases:
     extractor = PairFeatureExtractor()
 
