@@ -19,11 +19,13 @@ synthetic companies benchmark, in two sections:
     ``--profile-cache`` pays) — preparation time is included.
 
 * **run_matching** — end-to-end ``PipelineRuntime.run_matching`` throughput
-  with the trained logistic matcher, profile-cache on/off × warm-pool
-  on/off × workers × executor.  Every row's decisions are asserted
-  **bitwise identical** to the serial profile-cache-on reference (same
-  probabilities, same verdicts): the cache and the pool mode trade work for
-  speed, never output.  Each row records the effective ``cpu_count`` it ran
+  with the trained logistic matcher, profile-cache on/off × columnar
+  dispatch on/off × warm-pool on/off × workers × executor (columnar rows
+  only exist under the profile cache — the array route scores the store).
+  Every row's decisions are asserted **bitwise identical** to the serial
+  profile-cache-on columnar reference (same probabilities, same verdicts):
+  the cache, the dispatch route and the pool mode trade work for speed,
+  never output.  Each row records the effective ``cpu_count`` it ran
   under, and parallel speedup assertions are skipped (and recorded as
   skipped) when the box has fewer cores than workers — a 2-worker row on a
   1-core runner measures engine overhead, not parallelism.
@@ -64,6 +66,7 @@ from repro.datagen.records import CompanyRecord, Dataset, SecurityRecord
 from repro.evaluation import format_table
 from repro.matching import LogisticRegressionMatcher
 from repro.matching.features import PairFeatureExtractor
+from repro.matching.decisions import DecisionVector
 from repro.matching.pairs import as_record_pairs, build_labeled_pairs
 from repro.matching.profiles import ProfileStore
 from repro.runtime import PipelineRuntime, RuntimeConfig
@@ -77,6 +80,11 @@ from repro.text.similarity import (
 from repro.text.tokenize import word_tokenize
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The serial run_matching throughput of the pre-profile-subsystem build
+#: (the first recorded BENCH_matching.json) — full runs pin the columnar
+#: route at >= 3x this floor.
+_SEED_SERIAL_PAIRS_PER_S = 35_000.0
 
 
 # -- the frozen "before" baseline -------------------------------------------
@@ -352,15 +360,17 @@ def measure_run_matching(
     batch_size: int,
     repeats: int,
 ) -> list[dict[str, object]]:
-    """Throughput rows: profile-cache on/off × warm-pool on/off × workers ×
-    executor.
+    """Throughput rows: profile-cache on/off × columnar dispatch on/off ×
+    warm-pool on/off × workers × executor.
 
     Asserts, for every configuration, that its decisions are bitwise
-    identical to the serial profile-cache-on reference — probabilities
-    compared exactly, not approximately.  Each row records the effective
-    ``cpu_count`` it ran under: a parallel row measured with fewer cores
-    than workers documents overhead, not speedup, and the reference-number
-    assertions skip it (``speedup_meaningful``).
+    identical to the serial profile-cache-on columnar reference —
+    probabilities compared exactly, not approximately — and that the
+    columnar rows actually took the array route (a
+    :class:`~repro.matching.decisions.DecisionVector` came back).  Each row
+    records the effective ``cpu_count`` it ran under: a parallel row
+    measured with fewer cores than workers documents overhead, not speedup,
+    and the reference-number assertions skip it (``speedup_meaningful``).
     """
     rows: list[dict[str, object]] = []
     baseline = None
@@ -374,49 +384,60 @@ def measure_run_matching(
                 if workers == 1 and not warm_pool:
                     continue  # no pool either way; one serial row is enough
                 for profile_cache in (True, False):
-                    config = RuntimeConfig(
-                        workers=workers, batch_size=batch_size,
-                        executor=executor, profile_cache=profile_cache,
-                        warm_pool=warm_pool,
-                    )
-                    runtime = PipelineRuntime(config)
-                    try:
-                        best = float("inf")
-                        decisions = None
-                        for _ in range(repeats):
-                            start = time.perf_counter()
-                            decisions = runtime.run_matching(
-                                matcher, dataset, candidates
-                            )
-                            best = min(best, time.perf_counter() - start)
-                    finally:
-                        runtime.close()
-                    if reference is None:
-                        reference = decisions
-                    assert decisions == reference, (
-                        f"decisions drifted at workers={workers}, "
-                        f"executor={executor}, warm_pool={warm_pool}, "
-                        f"profile_cache={profile_cache}"
-                    )
-                    assert [d.probability for d in decisions] == [
-                        d.probability for d in reference
-                    ], "probabilities drifted from the serial reference"
-                    throughput = len(candidates) / best
-                    if baseline is None:
-                        baseline = throughput
-                    rows.append({
-                        "Workers": workers,
-                        "Executor": executor if workers > 1 else "serial",
-                        "Warm pool": "on" if warm_pool else "off",
-                        "Profile cache": "on" if profile_cache else "off",
-                        "Pairs / s": round(throughput, 1),
-                        "Speedup": round(throughput / baseline, 2),
-                        "cpu_count": cpus,
-                        # A 2-worker row on a 1-core box measures overhead,
-                        # not parallel speedup — consumers must not gate on
-                        # it.
-                        "speedup_meaningful": workers <= cpus,
-                    })
+                    # Columnar dispatch only exists inside the profiled
+                    # route (the array chunks score the profile store), so
+                    # cache-off rows carry a single, moot setting.
+                    columnar_modes = (True, False) if profile_cache else (False,)
+                    for columnar in columnar_modes:
+                        config = RuntimeConfig(
+                            workers=workers, batch_size=batch_size,
+                            executor=executor, profile_cache=profile_cache,
+                            columnar_dispatch=columnar, warm_pool=warm_pool,
+                        )
+                        runtime = PipelineRuntime(config)
+                        try:
+                            best = float("inf")
+                            decisions = None
+                            for _ in range(repeats):
+                                start = time.perf_counter()
+                                decisions = runtime.run_matching(
+                                    matcher, dataset, candidates
+                                )
+                                best = min(best, time.perf_counter() - start)
+                        finally:
+                            runtime.close()
+                        assert isinstance(decisions, DecisionVector) == (
+                            profile_cache and columnar
+                        ), "dispatch route does not match the configuration"
+                        if reference is None:
+                            reference = decisions
+                        assert decisions == reference, (
+                            f"decisions drifted at workers={workers}, "
+                            f"executor={executor}, warm_pool={warm_pool}, "
+                            f"profile_cache={profile_cache}, "
+                            f"columnar_dispatch={columnar}"
+                        )
+                        assert [d.probability for d in decisions] == [
+                            d.probability for d in reference
+                        ], "probabilities drifted from the serial reference"
+                        throughput = len(candidates) / best
+                        if baseline is None:
+                            baseline = throughput
+                        rows.append({
+                            "Workers": workers,
+                            "Executor": executor if workers > 1 else "serial",
+                            "Warm pool": "on" if warm_pool else "off",
+                            "Profile cache": "on" if profile_cache else "off",
+                            "Columnar": ("on" if columnar else "off")
+                            if profile_cache else "n/a",
+                            "Pairs / s": round(throughput, 1),
+                            "Speedup": round(throughput / baseline, 2),
+                            "cpu_count": cpus,
+                            # A 2-worker row on a 1-core box measures
+                            # overhead, not parallel speedup — consumers
+                            # must not gate on it.
+                            "speedup_meaningful": workers <= cpus,
+                        })
     return rows
 
 
@@ -473,6 +494,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     for row in matching_rows:
         if row["Workers"] == 1 or row["Warm pool"] != "on" or row["Profile cache"] != "on":
             continue
+        if row["Columnar"] != "on":
+            continue  # one parallel check per workers × executor point
         check = {
             "workers": row["Workers"],
             "executor": row["Executor"],
@@ -494,11 +517,34 @@ def main(argv: Sequence[str] | None = None) -> int:
             check["status"] = "asserted >= 1.0x"
         speedup_checks.append(check)
 
+    def serial_row(columnar: str) -> dict[str, object]:
+        return next(
+            row for row in matching_rows
+            if row["Workers"] == 1 and row["Profile cache"] == "on"
+            and row["Columnar"] == columnar
+        )
+
+    route_speedup = (
+        serial_row("on")["Pairs / s"] / serial_row("off")["Pairs / s"]
+    )
+    print(f"columnar dispatch: {route_speedup:.2f}x vs the serial object route "
+          f"({serial_row('on')['Pairs / s']:.0f} vs "
+          f"{serial_row('off')['Pairs / s']:.0f} pairs/s)")
+
     if not args.quick:
         assert ratio >= 10.0, f"candidate set too thin: pairs/records = {ratio:.1f}"
         assert speedups["profile_store_vs_seed"] >= 3.0, (
             "profile-store extraction fell below the pinned 3x speedup: "
             f"{speedups['profile_store_vs_seed']:.2f}x"
+        )
+        # The columnar-dispatch tentpole's floor: serial end-to-end
+        # run_matching at >= 3x the pre-profile-subsystem 35.0k pairs/s
+        # baseline (the first recorded BENCH_matching.json serial row).
+        serial_throughput = serial_row("on")["Pairs / s"]
+        assert serial_throughput >= 3.0 * _SEED_SERIAL_PAIRS_PER_S, (
+            "serial columnar run_matching fell below 3x the seed baseline: "
+            f"{serial_throughput:.0f} pairs/s vs "
+            f"{3.0 * _SEED_SERIAL_PAIRS_PER_S:.0f} required"
         )
 
     report = {
@@ -522,6 +568,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run_matching": {
             "rows": matching_rows,
             "parallel_speedup_checks": speedup_checks,
+            "columnar_vs_object_serial": round(route_speedup, 3),
+            "seed_serial_pairs_per_s": _SEED_SERIAL_PAIRS_PER_S,
         },
         "determinism": {"all_configs_equal_serial_bitwise": True},
     }

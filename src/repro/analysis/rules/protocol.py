@@ -43,6 +43,14 @@ OPTIONAL_PROTOCOL_METHODS: dict[str, str] = {
     "decide_profiled_batches": "profile_capable",
 }
 
+#: flag -> the flag it presupposes: the dependent protocol only makes sense
+#: inside the base one (``score_profiled`` consumes the store
+#: ``prepare_profiles`` builds, so columnar scoring without the profiled
+#: protocol can never be dispatched by the engine).
+FLAG_REQUIRES: dict[str, str] = {
+    "columnar_capable": "profile_capable",
+}
+
 #: method -> flag, for the inverse (method-without-flag) check.
 _METHOD_TO_FLAG: dict[str, str] = {
     method: flag
@@ -145,12 +153,14 @@ class ProtocolConformanceRule(LintRule):
     description = (
         "a class setting shardable/delta_capable/profile_capable/"
         "columnar_capable = True must implement the protocol's methods in "
-        "its body, and vice versa"
+        "its body, and vice versa; columnar_capable additionally "
+        "presupposes profile_capable"
     )
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         info = analyze_class(node)
         self._check_flags_have_methods(info)
+        self._check_flag_dependencies(info)
         self._check_methods_have_flags(info)
 
     def _check_flags_have_methods(self, info: ClassProtocolInfo) -> None:
@@ -169,6 +179,23 @@ class ProtocolConformanceRule(LintRule):
                     "body (inherited implementations are invisible to "
                     "static analysis; restate or suppress)",
                 )
+
+    def _check_flag_dependencies(self, info: ClassProtocolInfo) -> None:
+        for flag, required in FLAG_REQUIRES.items():
+            if info.flags.get(flag) is not True:
+                continue
+            if info.flags.get(required) is True:
+                continue
+            self.report(
+                info.flag_nodes[flag],
+                f"class {info.name} sets {flag} = True without "
+                f"{required} = True — the {flag} protocol only runs inside "
+                f"the {required} one (the engine dispatches "
+                f"{', '.join(m + '()' for m in PROTOCOL_METHODS[flag])} "
+                "against the prepared profile store); declare "
+                f"{required} = True in the class body (inherited flags are "
+                "invisible to static analysis; restate or suppress)",
+            )
 
     def _check_methods_have_flags(self, info: ClassProtocolInfo) -> None:
         for method, fn in info.implemented.items():

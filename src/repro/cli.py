@@ -84,6 +84,7 @@ _RUNTIME_FLAG_KEYS = (
     "executor",
     "blocking_shards",
     "profile_cache",
+    "columnar_dispatch",
     "warm_pool",
 )
 
@@ -114,6 +115,15 @@ def _add_runtime_flags(parser: argparse.ArgumentParser, *, overrides: bool) -> N
                              "profiles prepared once per run (byte-identical "
                              "output either way; --no-profile-cache forces the "
                              "per-pair recompute path)")
+    parser.add_argument("--columnar-dispatch", action=argparse.BooleanOptionalAction,
+                        default=None if overrides else True,
+                        help="dispatch pairwise matching through the matcher's "
+                             "columnar score_profiled kernel, carrying "
+                             "probability arrays between stages and "
+                             "materialising decision objects lazily "
+                             "(byte-identical output either way; "
+                             "--no-columnar-dispatch forces the per-pair "
+                             "decision-object route)")
     parser.add_argument("--warm-pool", action=argparse.BooleanOptionalAction,
                         default=None if overrides else True,
                         help="keep one persistent worker pool across pipeline "
@@ -315,6 +325,7 @@ def _command_match(args: argparse.Namespace) -> int:
                     executor=args.executor,
                     blocking_shards=args.blocking_shards,
                     profile_cache=args.profile_cache,
+                    columnar_dispatch=args.columnar_dispatch,
                     warm_pool=args.warm_pool,
                 ),
             ),

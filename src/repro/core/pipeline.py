@@ -25,6 +25,7 @@ The pipeline never looks at ground truth; scoring lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Sequence
 
 from repro.blocking.base import Blocking, CandidatePair
 from repro.core.cleanup import CleanupConfig, CleanupReport
@@ -61,8 +62,11 @@ class PipelineResult:
 
     #: Candidate pairs emitted by the blocking.
     candidates: list[CandidatePair]
-    #: Full decisions (probability + verdict) for every candidate pair.
-    decisions: list[MatchDecision]
+    #: Full decisions (probability + verdict) for every candidate pair — a
+    #: ``list[MatchDecision]`` on the object routes, a lazy array-backed
+    #: :class:`~repro.matching.decisions.DecisionVector` under columnar
+    #: dispatch (element-wise identical; indexing materialises decisions).
+    decisions: Sequence[MatchDecision]
     #: Positively predicted pairs (before any clean-up).
     positive_edges: list[Edge]
     #: Edges dropped by the pre-cleanup rule.

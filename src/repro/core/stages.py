@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from collections.abc import Sequence
 from typing import Any
 
 from repro.blocking.base import Blocking, CandidatePair
@@ -37,6 +38,7 @@ from repro.core.precleanup import PreCleanupConfig, pre_cleanup
 from repro.datagen.records import Dataset
 from repro.graphs.graph import Edge
 from repro.matching.base import MatchDecision, PairwiseMatcher
+from repro.matching.decisions import DecisionVector
 from repro.registry import CLEANUPS
 from repro.runtime import PipelineRuntime, StageProfiler
 
@@ -55,7 +57,10 @@ class PipelineContext:
     profiler: StageProfiler
 
     candidates: list[CandidatePair] = field(default_factory=list)
-    decisions: list[MatchDecision] = field(default_factory=list)
+    #: ``list[MatchDecision]`` on the object routes, a lazy
+    #: :class:`~repro.matching.decisions.DecisionVector` under columnar
+    #: dispatch — element-wise identical either way.
+    decisions: Sequence[MatchDecision] = field(default_factory=list)
     positive_edges: list[Edge] = field(default_factory=list)
     edge_blockings: dict[tuple[str, str], str] = field(default_factory=dict)
     kept_edges: list[Edge] = field(default_factory=list)
@@ -118,7 +123,7 @@ class MatchingStage(PipelineStage):
 
 
 def apply_pre_cleanup(
-    decisions: list[MatchDecision],
+    decisions: Sequence[MatchDecision],
     candidates: list[CandidatePair],
     config: PreCleanupConfig,
 ) -> tuple[list[Edge], dict[tuple[str, str], str], list[Edge], set[Edge]]:
@@ -128,10 +133,17 @@ def apply_pre_cleanup(
     Shared by :class:`PreCleanupStage` and the incremental matcher so the
     two execution modes cannot drift — byte-identical ingestion depends on
     both running exactly this computation.
+
+    A columnar :class:`~repro.matching.decisions.DecisionVector` yields its
+    positive edges straight off the kept-edge mask — the same
+    ``(left_id, right_id)`` tuples, no decision objects materialised.
     """
-    positive_edges = [
-        decision.pair for decision in decisions if decision.is_match
-    ]
+    if isinstance(decisions, DecisionVector):
+        positive_edges = decisions.positive_pairs()
+    else:
+        positive_edges = [
+            decision.pair for decision in decisions if decision.is_match
+        ]
     edge_blockings = {
         candidate.key: candidate.blocking for candidate in candidates
     }

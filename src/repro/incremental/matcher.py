@@ -236,12 +236,16 @@ class IncrementalMatcher:
         """The current candidate set, in exact batch-engine order."""
         return self._assemble_candidates()
 
-    def decisions(self) -> list:
-        """All current decisions, in candidate order (batch-identical)."""
-        return [
-            self.state.decisions[candidate.key]
-            for candidate in self._assemble_candidates()
-        ]
+    def decisions(self):
+        """All current decisions, in candidate order (batch-identical).
+
+        Returns a lazy :class:`~repro.matching.decisions.DecisionVector`
+        gathered from the array-backed cache — element-wise equal to the
+        batch pipeline's decision list.
+        """
+        return self.state.decisions.vector(
+            [candidate.key for candidate in self._assemble_candidates()]
+        )
 
     # -- ingestion -----------------------------------------------------------
 
@@ -410,13 +414,17 @@ class IncrementalMatcher:
         report: IngestReport,
     ):
         """Score only candidates without a cached decision; return the full
-        decision list in candidate order."""
+        decisions in candidate order (a gathered
+        :class:`~repro.matching.decisions.DecisionVector`)."""
         state = self.state
-        new_pairs = [
-            candidate
-            for candidate in candidates
-            if candidate.key not in state.decisions
-        ]
+        cache = state.decisions
+        keys = [candidate.key for candidate in candidates]
+        new_keys: list[tuple[str, str]] = []
+        new_pairs: list[CandidatePair] = []
+        for candidate, key in zip(candidates, keys):
+            if key not in cache:
+                new_keys.append(key)
+                new_pairs.append(candidate)
         report.pairs_scored = len(new_pairs)
         report.pairs_reused = len(candidates) - len(new_pairs)
         if new_pairs:
@@ -427,10 +435,18 @@ class IncrementalMatcher:
                 new_pairs,
                 profiler,
                 profiles=profiles,
+                # The engine's id-pair payloads are exactly the candidates'
+                # (left, right) ids — hand them over so it skips rebuilding
+                # them from the CandidatePair objects.
+                id_pairs=[
+                    (candidate.left_id, candidate.right_id)
+                    for candidate in new_pairs
+                ],
             )
-            for candidate, decision in zip(new_pairs, scored):
-                state.decisions[candidate.key] = decision
-        return [state.decisions[candidate.key] for candidate in candidates]
+            # Columnar route: the scored DecisionVector's arrays are adopted
+            # directly — no decision objects are built on either side.
+            cache.extend(new_keys, scored)
+        return cache.vector(keys)
 
     def _extend_profiles(self, new_pairs: Sequence[CandidatePair]):
         """Grow the persistent profile store to cover the pairs to score.

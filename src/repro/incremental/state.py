@@ -36,13 +36,19 @@ from repro.core.precleanup import PreCleanupConfig
 from repro.datagen.records import Dataset, Record
 from repro.graphs.graph import Edge
 from repro.graphs.union_find import DisjointSet
-from repro.matching.base import MatchDecision, PairwiseMatcher
+from repro.matching.base import PairwiseMatcher
+from repro.matching.decisions import DecisionCache
 from repro.runtime import RuntimeConfig
 
 #: Format marker written to (and demanded from) every state manifest.
 STATE_FORMAT = "repro-match-state"
-#: Bump when the on-disk layout changes incompatibly.
-STATE_FORMAT_VERSION = 1
+#: Bump when the on-disk layout changes incompatibly.  Version 2 stores the
+#: decision cache as an array-backed :class:`DecisionCache` instead of a
+#: per-pair dict of :class:`~repro.matching.base.MatchDecision` objects.
+STATE_FORMAT_VERSION = 2
+#: Versions :meth:`MatchState.load` accepts; older ones are migrated in
+#: memory on load (the next save writes the current format).
+SUPPORTED_STATE_VERSIONS = (1, STATE_FORMAT_VERSION)
 
 #: Manifest file name; its presence marks a completely written state.
 MANIFEST_FILE = "manifest.json"
@@ -125,10 +131,11 @@ class MatchState:
     # -- matching state ------------------------------------------------------
     #: Appendable profile store (None when the matcher runs unprofiled).
     profiles: Any = None
-    #: Every decision ever scored, keyed by canonical pair.  Decisions are
-    #: pair-local and deterministic, so they are reused verbatim whenever a
-    #: pair reappears in the candidate set.
-    decisions: dict[tuple[str, str], MatchDecision] = field(default_factory=dict)
+    #: Every decision ever scored, keyed by canonical pair but stored as
+    #: parallel arrays (:class:`~repro.matching.decisions.DecisionCache`).
+    #: Decisions are pair-local and deterministic, so their rows are reused
+    #: verbatim whenever a pair reappears in the candidate set.
+    decisions: DecisionCache = field(default_factory=DecisionCache)
 
     # -- graph state ---------------------------------------------------------
     #: Kept (post-pre-cleanup) edges of the latest ingest.
@@ -273,6 +280,12 @@ class MatchState:
                 payloads[file_name] = pickle.load(handle)
         components = payloads[_COMPONENTS_FILE]
         graph = payloads[_GRAPH_FILE]
+        decisions = payloads[_MATCHING_FILE]["decisions"]
+        if isinstance(decisions, dict):
+            # Format v1 stored a per-pair dict of MatchDecision objects;
+            # migrate to the array-backed cache (insertion order == scoring
+            # order becomes row order, so gathers stay batch-identical).
+            decisions = DecisionCache.from_decisions(decisions)
         state = cls(
             name=payloads[_RECORDS_FILE]["name"],
             matcher=components["matcher"],
@@ -286,7 +299,7 @@ class MatchState:
             owned_pairs=payloads[_BLOCKING_FILE]["owned_pairs"],
             whole_part_pairs=payloads[_BLOCKING_FILE]["whole_part_pairs"],
             profiles=payloads[_MATCHING_FILE]["profiles"],
-            decisions=payloads[_MATCHING_FILE]["decisions"],
+            decisions=decisions,
             kept_edges=graph["kept_edges"],
             kept_dsu=graph["kept_dsu"],
             cleanup_memo=graph["cleanup_memo"],
@@ -333,9 +346,9 @@ def read_manifest(state_dir: str | Path) -> dict[str, Any]:
             f"(format={manifest.get('format')!r})"
         )
     version = manifest.get("format_version")
-    if version != STATE_FORMAT_VERSION:
+    if version not in SUPPORTED_STATE_VERSIONS:
         raise MatchStateError(
             f"match state at {state_dir} has format version {version!r}; "
-            f"this build reads version {STATE_FORMAT_VERSION}"
+            f"this build reads versions {list(SUPPORTED_STATE_VERSIONS)}"
         )
     return manifest

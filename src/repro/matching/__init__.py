@@ -15,6 +15,9 @@ serialised record pair, produce a Match / NoMatch probability.
 * :mod:`repro.matching.profiles` — per-record feature profiles
   (:class:`RecordProfile` / :class:`ProfileStore`): record-local
   derivations computed once, pairs scored from profiles,
+* :mod:`repro.matching.decisions` — array-backed decision containers
+  (:class:`DecisionVector` / :class:`DecisionCache`) for the engine's
+  columnar dispatch route and the incremental decision cache,
 * :mod:`repro.matching.logistic` — logistic-regression matcher,
 * :mod:`repro.matching.nn` — numpy neural-network building blocks,
 * :mod:`repro.matching.attention` — the Transformer-style cross-encoder
@@ -28,6 +31,7 @@ serialised record pair, produce a Match / NoMatch probability.
 """
 
 from repro.matching.base import MatchDecision, PairwiseMatcher, ScoredPair
+from repro.matching.decisions import DecisionCache, DecisionVector
 from repro.matching.pairs import LabeledPair, PairSampler, build_labeled_pairs
 from repro.matching.features import PairFeatureExtractor
 from repro.matching.profiles import ProfileStore, RecordProfile, build_profile
@@ -41,6 +45,8 @@ __all__ = [
     "MatchDecision",
     "PairwiseMatcher",
     "ScoredPair",
+    "DecisionCache",
+    "DecisionVector",
     "LabeledPair",
     "PairSampler",
     "build_labeled_pairs",

@@ -78,8 +78,13 @@ class PairwiseMatcher(ABC):
     :class:`~repro.matching.profiles.ProfileStore` additionally set
     ``columnar_capable = True`` and implement :meth:`score_profiled`, the
     array-in/array-out core :meth:`decide_profiled` is a thin wrapper over.
-    The flag and the method come as a pair — the protocol-conformance lint
-    rule enforces that a class declaring one declares the other.
+    The execution engine's columnar dispatch route sends chunks straight to
+    :meth:`score_profiled` and wraps the probability arrays in a lazy
+    :class:`~repro.matching.decisions.DecisionVector` — which is why the
+    columnar protocol only exists *inside* the profiled one: the flag and
+    the method come as a pair, and ``columnar_capable = True`` presupposes
+    ``profile_capable = True``.  The protocol-conformance lint rule enforces
+    both couplings.
     """
 
     #: Decision threshold applied to the match probability.

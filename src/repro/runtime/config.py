@@ -15,6 +15,9 @@ and pairwise inference) into chunks and fans them out over a
   from per-record feature profiles prepared once per run (and shipped to
   workers once), instead of re-deriving record-local state for both sides
   of every pair,
+* ``columnar_dispatch`` keeps profiled inference columnar end to end for
+  ``columnar_capable`` matchers: chunk tasks return probability arrays,
+  decision objects materialise lazily at the API boundary,
 * ``warm_pool`` keeps one persistent worker pool alive across stage calls,
   pipeline runs and ingest batches, shipping shared payloads through the
   epoch protocol (once per state revision) instead of re-spawning the pool
@@ -61,6 +64,18 @@ class RuntimeConfig:
     #: knob trades memory for speed, never results.  Matchers without
     #: profile support fall back to the record-pair path automatically.
     profile_cache: bool = True
+    #: Dispatch pairwise inference through the matcher's columnar
+    #: ``score_profiled`` kernel when the matcher is ``columnar_capable``
+    #: (and the profiled route is active): chunk tasks return float64
+    #: probability arrays instead of per-pair decision objects, and the
+    #: engine hands back a lazy
+    #: :class:`~repro.matching.decisions.DecisionVector` that materialises
+    #: :class:`~repro.matching.base.MatchDecision` objects only where a
+    #: consumer indexes them.  Output is byte-identical either way — the
+    #: vector applies exactly the conversions ``decide_profiled`` applies
+    #: eagerly.  Non-columnar matchers fall back to the object route
+    #: automatically.
+    columnar_dispatch: bool = True
     #: Keep one persistent worker pool per runtime, spawned lazily and
     #: reused across stage calls, pipeline runs and incremental-ingest
     #: batches; shared payloads (profile store + matcher, blocking shared
@@ -89,6 +104,10 @@ class RuntimeConfig:
         if not isinstance(self.profile_cache, bool):
             raise ValueError(
                 f"profile_cache must be a boolean, got {self.profile_cache!r}"
+            )
+        if not isinstance(self.columnar_dispatch, bool):
+            raise ValueError(
+                f"columnar_dispatch must be a boolean, got {self.columnar_dispatch!r}"
             )
         if not isinstance(self.warm_pool, bool):
             raise ValueError(

@@ -27,7 +27,14 @@ data-parallel stages here:
   ``warm_pool=False``, via the per-call pool initializer — and the
   per-chunk payload shrinks to bare id pairs: record objects are no longer
   re-pickled per batch, and record-local feature derivations happen once
-  per record instead of once per pair side.
+  per record instead of once per pair side.  When the matcher is
+  additionally ``columnar_capable`` (and ``columnar_dispatch`` is on, the
+  default), chunk tasks run the matcher's vectorised ``score_profiled``
+  kernel and return bare float64 probability arrays — the engine
+  concatenates them and hands back a lazy
+  :class:`~repro.matching.decisions.DecisionVector`, so no per-pair
+  decision object is built (or shipped) unless a consumer at the
+  pipeline/API/CLI boundary actually indexes one.
 
 The runtime owns one persistent :class:`~repro.runtime.pool.WorkerPool`
 (via its scheduler) when ``warm_pool`` is on: spawned lazily on the first
@@ -51,9 +58,12 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 from typing import Any
 
+import numpy as np
+
 from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset, Record
-from repro.matching.base import MatchDecision, PairwiseMatcher, RecordPair
+from repro.matching.base import IdPair, MatchDecision, PairwiseMatcher, RecordPair
+from repro.matching.decisions import DecisionVector
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.profiler import StageProfiler
 from repro.runtime.scheduler import ChunkScheduler, chunked, even_spans
@@ -88,6 +98,15 @@ def _decide_profiled_chunk(
 ) -> list[MatchDecision]:
     """Worker task: one profiled inference chunk (module-level, picklable)."""
     return plan.matcher.decide_profiled_batches(plan.profiles, [id_pairs])[0]
+
+
+def _score_profiled_chunk(
+    plan: _MatchingPlan, id_pairs: list[tuple[str, str]]
+) -> np.ndarray:
+    """Worker task of the columnar dispatch route: one chunk's probability
+    vector, as a float64 array — no per-pair decision objects are built (or
+    pickled back) anywhere in the fan-out."""
+    return plan.matcher.score_profiled(plan.profiles, id_pairs)
 
 
 @dataclass(frozen=True)
@@ -155,6 +174,11 @@ def _delta_blocking_task(
         tuple(plan.part.candidates_for(plan.state, (record,)))
         for record in plan.records[start:stop]
     ]
+
+
+def _owned_candidate_count(owned: list[tuple[CandidatePair, ...]]) -> int:
+    """Candidates across one delta-blocking span's per-record owned lists."""
+    return sum(len(pairs) for pairs in owned)
 
 
 class PipelineRuntime:
@@ -243,6 +267,7 @@ class PipelineRuntime:
             stage="blocking",
             profiler=profiler,
             shared=plan,
+            items=len,  # candidates emitted per task -> candidates/s chunks
         )
         merged: list[CandidatePair] = []
         for pairs in per_task:
@@ -279,6 +304,7 @@ class PipelineRuntime:
             stage="blocking_delta",
             profiler=profiler,
             shared=plan,
+            items=_owned_candidate_count,
         )
         merged: list[tuple[CandidatePair, ...]] = []
         for owned in per_span:
@@ -294,7 +320,8 @@ class PipelineRuntime:
         candidates: Sequence[CandidatePair],
         profiler: StageProfiler | None = None,
         profiles: Any = None,
-    ) -> list[MatchDecision]:
+        id_pairs: Sequence[IdPair] | None = None,
+    ) -> Sequence[MatchDecision]:
         """Predict Match / NoMatch for every candidate, in candidate order.
 
         Either way the scheduler runs one matcher call per ``batch_size``
@@ -302,14 +329,26 @@ class PipelineRuntime:
         entry point, the call granularity and the numeric batch shapes are
         identical at any worker count — which is what keeps serial and
         parallel decisions bit-identical — and every run gets per-chunk
-        timings.  The two routes differ only in what rides where:
+        timings and pair counts.  The three routes differ only in what
+        rides where:
 
+        * **columnar** (profiled route active, matcher ``columnar_capable``,
+          ``columnar_dispatch`` on) — chunk tasks run the matcher's
+          :meth:`~repro.matching.base.PairwiseMatcher.score_profiled` kernel
+          and return float64 probability arrays; the concatenated vector
+          comes back as a lazy
+          :class:`~repro.matching.decisions.DecisionVector` that
+          materialises decision objects only at the API boundary;
         * **profiled** (``profile_cache`` on, matcher ``profile_capable``) —
           the matcher prepares its per-record profiles once, matcher + store
           ship to each worker out of band (epoch protocol or initializer),
           chunk payloads are bare id pairs;
         * **record pairs** (fallback) — chunk payloads are the record
           objects themselves, resolved here in the parent.
+
+        The chunking — and therefore every numeric batch shape — is shared
+        by all three routes, which is what keeps their outputs byte-identical
+        (the columnar invariance suite pins this at every engine setting).
 
         ``profiles`` (optional) short-circuits the preparation step of the
         profiled route with an already-built store — the incremental
@@ -318,10 +357,14 @@ class PipelineRuntime:
         must cover every record the candidates reference; profiled output is
         byte-identical to in-run preparation because profiles are pure
         per-record derivations.
+
+        ``id_pairs`` (optional) short-circuits the id-pair extraction of the
+        profiled routes with a precomputed ``(left_id, right_id)`` list
+        aligned with ``candidates`` — callers that already hold bare id
+        pairs (incremental ingest) skip the per-candidate Python loop here.
         """
         if not candidates:
             return []
-        batches = chunked(candidates, self.config.batch_size)
         if self.config.profile_cache and matcher.profile_capable:
             if profiles is None:
                 # Profile only the records the candidates reference: on a
@@ -335,13 +378,21 @@ class PipelineRuntime:
                 profiles = matcher.prepare_profiles(
                     dataset.record(record_id) for record_id in referenced
                 )
+            if id_pairs is None:
+                id_pairs = [
+                    (candidate.left_id, candidate.right_id)
+                    for candidate in candidates
+                ]
+            elif len(id_pairs) != len(candidates):
+                raise ValueError(
+                    f"id_pairs must align with candidates: got {len(id_pairs)} "
+                    f"pairs for {len(candidates)} candidates"
+                )
             plan = _MatchingPlan(matcher=matcher, profiles=profiles)
-            id_batches: list[list[tuple[str, str]]] = [
-                [(candidate.left_id, candidate.right_id) for candidate in batch]
-                for batch in batches
-            ]
-            decided = self.scheduler.map_chunks(
-                _decide_profiled_chunk,
+            id_batches = chunked(id_pairs, self.config.batch_size)
+            columnar = self.config.columnar_dispatch and matcher.columnar_capable
+            scored = self.scheduler.map_chunks(
+                _score_profiled_chunk if columnar else _decide_profiled_chunk,
                 id_batches,
                 stage="pairwise_matching",
                 profiler=profiler,
@@ -354,14 +405,28 @@ class PipelineRuntime:
                 # republished, never stale.
                 shared_anchors=(matcher, profiles),
                 shared_version=getattr(profiles, "revision", object()),
+                items=len,
             )
+            if columnar:
+                # Concatenating the per-chunk vectors copies values bitwise,
+                # so the vector holds exactly the probabilities the object
+                # route would attach chunk by chunk.
+                probabilities = (
+                    scored[0] if len(scored) == 1 else np.concatenate(scored)
+                )
+                return DecisionVector(
+                    pairs=id_pairs,
+                    probabilities=probabilities,
+                    threshold=matcher.threshold,
+                )
+            decided = scored
         else:
             pair_batches: list[list[RecordPair]] = [
                 [
                     (dataset.record(candidate.left_id), dataset.record(candidate.right_id))
                     for candidate in batch
                 ]
-                for batch in batches
+                for batch in chunked(candidates, self.config.batch_size)
             ]
             decided = self.scheduler.map_chunks(
                 _decide_chunk,
@@ -373,6 +438,7 @@ class PipelineRuntime:
                 # is current across calls (fitted models are not re-fit
                 # between runs in the built-in flows).
                 shared_anchors=(matcher,),
+                items=len,
             )
         decisions: list[MatchDecision] = []
         for batch in decided:

@@ -5,6 +5,12 @@ The profiler collects wall-clock timings at two granularities: whole stages
 executed in chunks — the individual chunk durations.  Chunk durations are
 measured where the work happens (inside the worker for pooled execution), so
 they reflect compute time, not queueing delay.
+
+Chunked stages may also record how many *items* each chunk processed or
+produced (candidate pairs for matching, candidates for blocking), which
+turns the raw durations into per-chunk throughputs
+(:meth:`StageProfiler.chunk_throughput`) — benches and the CLI's timing
+output show where time goes without any external timing.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ class StageProfiler:
     def __init__(self) -> None:
         self._stages: dict[str, float] = {}
         self._chunks: dict[str, list[float]] = {}
+        self._chunk_items: dict[str, list[int | None]] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -35,9 +42,17 @@ class StageProfiler:
     def record_stage(self, name: str, seconds: float) -> None:
         self._stages[name] = seconds
 
-    def record_chunk(self, stage: str, seconds: float) -> None:
-        """Append one chunk duration to ``stage`` (chunks are ordered)."""
+    def record_chunk(
+        self, stage: str, seconds: float, items: int | None = None
+    ) -> None:
+        """Append one chunk duration to ``stage`` (chunks are ordered).
+
+        ``items`` — how many items the chunk processed/produced (pairs for
+        matching, candidates for blocking) — feeds the per-chunk throughput
+        accessors; ``None`` when the caller has no meaningful count.
+        """
         self._chunks.setdefault(stage, []).append(seconds)
+        self._chunk_items.setdefault(stage, []).append(items)
 
     # -- reading -----------------------------------------------------------
 
@@ -46,6 +61,29 @@ class StageProfiler:
 
     def chunk_seconds(self, stage: str) -> list[float]:
         return list(self._chunks.get(stage, []))
+
+    def chunk_items(self, stage: str) -> list[int | None]:
+        """Per-chunk item counts, aligned with :meth:`chunk_seconds`."""
+        return list(self._chunk_items.get(stage, []))
+
+    def chunk_throughput(self, stage: str) -> list[float | None]:
+        """Per-chunk items/second (``None`` where no count was recorded)."""
+        return [
+            items / seconds if items is not None and seconds > 0 else None
+            for items, seconds in zip(self.chunk_items(stage), self.chunk_seconds(stage))
+        ]
+
+    def stage_throughput(self, stage: str) -> float | None:
+        """Aggregate items/second over a stage's counted chunks."""
+        total_items = 0
+        total_seconds = 0.0
+        for items, seconds in zip(self.chunk_items(stage), self.chunk_seconds(stage)):
+            if items is not None:
+                total_items += items
+                total_seconds += seconds
+        if total_items == 0 or total_seconds <= 0:
+            return None
+        return total_items / total_seconds
 
     def as_timings(self) -> dict[str, float]:
         """Flatten into the ``PipelineResult.timings`` dictionary.

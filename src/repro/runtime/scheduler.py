@@ -220,6 +220,7 @@ class ChunkScheduler:
         shared_anchors: tuple[Any, ...] | None = None,
         shared_version: Any = None,
         slot: str | None = None,
+        items: Callable[[Any], int] | None = None,
     ) -> list[Any]:
         """Apply ``fn`` to every chunk, preserving chunk order.
 
@@ -236,8 +237,12 @@ class ChunkScheduler:
         calls for the same stage can reuse a still-current payload.
 
         With ``stage`` and ``profiler`` set, each chunk's in-worker duration
-        is recorded via :meth:`StageProfiler.record_chunk`.  Serial execution
-        (one worker, or a single chunk) runs in-process without a pool.
+        is recorded via :meth:`StageProfiler.record_chunk`; ``items``
+        (optional) maps a chunk *result* to its item count — e.g. ``len``
+        when each result is the produced list/array — so the profiler can
+        also report per-chunk throughput.  It runs parent-side on the
+        returned results, never in a worker.  Serial execution (one worker,
+        or a single chunk) runs in-process without a pool.
         """
         if not chunks:
             return []
@@ -246,15 +251,15 @@ class ChunkScheduler:
             results = []
             for chunk in chunks:
                 result, seconds = timed_call(bound, chunk)
-                self._record(profiler, stage, seconds)
+                self._record(profiler, stage, seconds, result, items)
                 results.append(result)
             return results
         if self.config.warm_pool:
             return self._map_warm(
                 fn, bound, chunks, stage, profiler, shared,
-                shared_anchors, shared_version, slot or stage or "shared",
+                shared_anchors, shared_version, slot or stage or "shared", items,
             )
-        return self._map_cold(fn, bound, chunks, stage, profiler, shared)
+        return self._map_cold(fn, bound, chunks, stage, profiler, shared, items)
 
     # -- warm mode ---------------------------------------------------------
 
@@ -269,6 +274,7 @@ class ChunkScheduler:
         shared_anchors: tuple[Any, ...] | None,
         shared_version: Any,
         slot: str,
+        items: Callable[[Any], int] | None,
     ) -> list[Any]:
         pool = self.warm_pool()
         executor = pool.executor
@@ -295,7 +301,7 @@ class ChunkScheduler:
                 pool.record_fetches(int(fetched))
             else:
                 result, seconds = item
-            self._record(profiler, stage, seconds)
+            self._record(profiler, stage, seconds, result, items)
             results.append(result)
         return results
 
@@ -309,6 +315,7 @@ class ChunkScheduler:
         stage: str | None,
         profiler: StageProfiler | None,
         shared: Any,
+        items: Callable[[Any], int] | None,
     ) -> list[Any]:
         # Decided once: process pools receive `shared` through the worker
         # initializer (pickled once per worker) and tasks fetch it from
@@ -330,7 +337,7 @@ class ChunkScheduler:
             )
             results = []
             for result, seconds in raw:
-                self._record(profiler, stage, seconds)
+                self._record(profiler, stage, seconds, result, items)
                 results.append(result)
             return results
         finally:
@@ -339,9 +346,17 @@ class ChunkScheduler:
     # -- shared plumbing ---------------------------------------------------
 
     @staticmethod
-    def _record(profiler: StageProfiler | None, stage: str | None, seconds: float) -> None:
+    def _record(
+        profiler: StageProfiler | None,
+        stage: str | None,
+        seconds: float,
+        result: Any = None,
+        items: Callable[[Any], int] | None = None,
+    ) -> None:
         if profiler is not None and stage is not None:
-            profiler.record_chunk(stage, seconds)
+            profiler.record_chunk(
+                stage, seconds, items=None if items is None else items(result)
+            )
 
     @staticmethod
     def _collect(futures: list[Future], on_error: Callable[[], None]) -> list[Any]:

@@ -151,6 +151,7 @@ class RuntimeSpec:
     executor: str = "process"
     blocking_shards: int = 1
     profile_cache: bool = True
+    columnar_dispatch: bool = True
     warm_pool: bool = True
 
     def to_dict(self) -> dict[str, Any]:
@@ -165,6 +166,8 @@ class RuntimeSpec:
             data["blocking_shards"] = self.blocking_shards
         if not self.profile_cache:
             data["profile_cache"] = False
+        if not self.columnar_dispatch:
+            data["columnar_dispatch"] = False
         if not self.warm_pool:
             data["warm_pool"] = False
         return data
@@ -180,6 +183,7 @@ class RuntimeSpec:
                 "executor",
                 "blocking_shards",
                 "profile_cache",
+                "columnar_dispatch",
                 "warm_pool",
             },
             key,
@@ -201,6 +205,9 @@ class RuntimeSpec:
             profile_cache=_expect_bool(
                 table.get("profile_cache", True), f"{key}.profile_cache"
             ),
+            columnar_dispatch=_expect_bool(
+                table.get("columnar_dispatch", True), f"{key}.columnar_dispatch"
+            ),
             warm_pool=_expect_bool(
                 table.get("warm_pool", True), f"{key}.warm_pool"
             ),
@@ -215,6 +222,7 @@ class RuntimeSpec:
             executor=self.executor,
             blocking_shards=self.blocking_shards,
             profile_cache=self.profile_cache,
+            columnar_dispatch=self.columnar_dispatch,
             warm_pool=self.warm_pool,
         )
 

@@ -43,15 +43,70 @@ class TestFlagWithoutMethods:
         assert "prepare_profiles" in findings[0].message
 
     def test_columnar_capable_without_score_profiled_is_caught(self):
-        source = "class M:\n    columnar_capable = True\n"
+        source = (
+            "class M:\n"
+            "    profile_capable = True\n"
+            "    columnar_capable = True\n"
+            "\n"
+            "    def prepare_profiles(self, records):\n"
+            "        return {}\n"
+            "\n"
+            "    def decide_profiled(self, profiles, id_pairs):\n"
+            "        return []\n"
+        )
         findings = findings_of(source, module="repro.matching.fixture")
         assert len(findings) == 1
         assert "score_profiled" in findings[0].message
 
-    def test_columnar_protocol_complete_is_clean(self):
+    def test_columnar_without_profile_capable_is_caught(self):
+        # The dependency check: columnar scoring consumes the profile store,
+        # so the flag presupposes the profiled protocol — even with
+        # score_profiled fully implemented.
         source = (
             "class M:\n"
             "    columnar_capable = True\n"
+            "\n"
+            "    def score_profiled(self, profiles, id_pairs):\n"
+            "        return profiles.score(id_pairs)\n"
+        )
+        findings = findings_of(source, module="repro.matching.fixture")
+        assert len(findings) == 1
+        assert "profile_capable" in findings[0].message
+        assert findings[0].line == 2  # reported at the columnar flag
+
+    def test_columnar_with_profile_capable_false_is_caught(self):
+        source = (
+            "class M:\n"
+            "    profile_capable = False\n"
+            "    columnar_capable = True\n"
+            "\n"
+            "    def score_profiled(self, profiles, id_pairs):\n"
+            "        return profiles.score(id_pairs)\n"
+        )
+        findings = findings_of(source, module="repro.matching.fixture")
+        assert any("profile_capable = True" in f.message for f in findings)
+
+    def test_columnar_dependency_suppression_silences(self):
+        source = (
+            "class M:\n"
+            "    columnar_capable = True  # repro-lint: disable=protocol-conformance -- inherited profiled protocol\n"
+            "\n"
+            "    def score_profiled(self, profiles, id_pairs):\n"
+            "        return profiles.score(id_pairs)\n"
+        )
+        assert findings_of(source, module="repro.matching.fixture") == []
+
+    def test_columnar_protocol_complete_is_clean(self):
+        source = (
+            "class M:\n"
+            "    profile_capable = True\n"
+            "    columnar_capable = True\n"
+            "\n"
+            "    def prepare_profiles(self, records):\n"
+            "        return {}\n"
+            "\n"
+            "    def decide_profiled(self, profiles, id_pairs):\n"
+            "        return []\n"
             "\n"
             "    def score_profiled(self, profiles, id_pairs):\n"
             "        return profiles.score(id_pairs)\n"

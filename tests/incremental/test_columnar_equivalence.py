@@ -1,0 +1,94 @@
+"""Columnar dispatch is invisible to incremental ingestion.
+
+The batch golden result is produced with the default runtime (columnar
+dispatch on).  Ingesting any partition of the same records with
+``columnar_dispatch=False`` — per-pair decision objects end to end — must
+reproduce it byte for byte, and vice versa: the array-backed decision
+cache never changes what a delta scores, reuses, or groups.
+"""
+
+import pytest
+
+from repro.matching.decisions import DecisionCache, DecisionVector
+from repro.runtime import RuntimeConfig
+
+from tests.incremental.test_batch_equivalence import (
+    assert_equals_batch,
+    ingest_in_batches,
+    partition_records,
+)
+
+COLUMNAR_SWEEP = [
+    pytest.param(RuntimeConfig(batch_size=64, columnar_dispatch=columnar),
+                 id=f"serial-{mode}")
+    for columnar, mode in ((True, "columnar"), (False, "objects"))
+] + [
+    pytest.param(
+        RuntimeConfig(workers=2, batch_size=64, executor=executor,
+                      blocking_shards=4, columnar_dispatch=columnar),
+        id=f"{executor}-{mode}",
+    )
+    for executor in ("thread", "process")
+    for columnar, mode in ((True, "columnar"), (False, "objects"))
+]
+
+
+@pytest.mark.parametrize("runtime", COLUMNAR_SWEEP)
+@pytest.mark.parametrize("num_batches", [1, 2, 7])
+class TestColumnarPartitionInvariance:
+    def test_dispatch_route_is_invisible_in_the_artefacts(
+        self, golden_setup, pipeline_factory, batch_result, runtime, num_batches
+    ):
+        companies, _ = golden_setup
+        batches = partition_records(companies.records, num_batches)
+        matcher = ingest_in_batches(pipeline_factory, batches, runtime)
+        try:
+            assert_equals_batch(matcher, batch_result)
+        finally:
+            matcher.close()
+
+
+class TestDecisionCacheMechanics:
+    def test_cache_contents_identical_across_routes(
+        self, golden_setup, pipeline_factory
+    ):
+        # Not just the served artefacts: the persistent cache rows themselves
+        # (pairs, probabilities, verdicts) must match, so a state written by
+        # one route reads back identically under the other.
+        companies, _ = golden_setup
+        batches = partition_records(companies.records, 2)
+        on = ingest_in_batches(
+            pipeline_factory, batches, RuntimeConfig(columnar_dispatch=True)
+        )
+        off = ingest_in_batches(
+            pipeline_factory, batches, RuntimeConfig(columnar_dispatch=False)
+        )
+        assert isinstance(on.state.decisions, DecisionCache)
+        assert on.state.decisions == off.state.decisions
+
+    def test_decisions_are_served_as_a_vector(
+        self, golden_setup, pipeline_factory, batch_result
+    ):
+        # The incremental API boundary stays lazy: decisions() gathers a
+        # DecisionVector off the cache arrays regardless of dispatch route.
+        companies, _ = golden_setup
+        matcher = ingest_in_batches(
+            pipeline_factory,
+            [companies.records],
+            RuntimeConfig(columnar_dispatch=False),
+        )
+        decisions = matcher.decisions()
+        assert isinstance(decisions, DecisionVector)
+        assert decisions == batch_result.decisions
+
+    def test_delta_savings_survive_the_columnar_route(
+        self, golden_setup, pipeline_factory, batch_result
+    ):
+        companies, _ = golden_setup
+        halves = partition_records(companies.records, 2)
+        matcher = ingest_in_batches(
+            pipeline_factory, halves[:1], RuntimeConfig(columnar_dispatch=True)
+        )
+        report = matcher.ingest(halves[1])
+        assert report.pairs_reused > 0
+        assert report.pairs_scored < len(batch_result.candidates)

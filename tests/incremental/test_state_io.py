@@ -19,6 +19,7 @@ from repro.incremental import (
     read_manifest,
 )
 from repro.incremental.state import MANIFEST_FILE
+from repro.matching.decisions import DecisionCache
 from repro.matching.profiles import ProfileStore
 
 
@@ -193,6 +194,68 @@ class TestCrashResilience:
             matcher.ingest([companies.records[0]])
         report = matcher.ingest(companies.records[50:60])
         assert report.num_new_records == 10
+
+
+class TestFormatMigration:
+    def _downgrade_to_v1(self, state_dir):
+        """Rewrite a saved v2 state as the v1 dict-of-decisions format."""
+        manifest = json.loads((state_dir / MANIFEST_FILE).read_text())
+        payload_path = (
+            state_dir / manifest["payload_dir"] / "matching_state.pkl"
+        )
+        payload = pickle.loads(payload_path.read_bytes())
+        assert isinstance(payload["decisions"], DecisionCache)
+        payload["decisions"] = payload["decisions"].to_decisions()
+        payload_path.write_bytes(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        manifest["format_version"] = 1
+        (state_dir / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2))
+
+    def test_v1_dict_decisions_migrate_on_load(self, saved_state):
+        matcher, state_dir = saved_state
+        self._downgrade_to_v1(state_dir)
+
+        assert read_manifest(state_dir)["format_version"] == 1
+        reloaded = IncrementalMatcher.load(state_dir)
+        # The migrated cache is row-for-row the one the v2 save held:
+        # dict insertion order was scoring order, which is row order.
+        assert isinstance(reloaded.state.decisions, DecisionCache)
+        assert reloaded.state.decisions == matcher.state.decisions
+        assert reloaded.decisions() == matcher.decisions()
+        assert reloaded.groups.groups == matcher.groups.groups
+
+    def test_migrated_state_saves_as_v2_and_ingests_onward(
+        self, golden_setup, pipeline_factory, batch_result, saved_state
+    ):
+        from tests.incremental.test_batch_equivalence import assert_equals_batch
+
+        companies, _ = golden_setup
+        matcher, state_dir = saved_state
+        self._downgrade_to_v1(state_dir)
+
+        reloaded = IncrementalMatcher.load(state_dir)
+        reloaded.ingest(companies.records[100:])
+        assert_equals_batch(reloaded, batch_result)
+
+        # The next save writes the current format — the migration is one-way.
+        reloaded.save(state_dir)
+        manifest = read_manifest(state_dir)
+        assert manifest["format_version"] == STATE_FORMAT_VERSION
+        payload = pickle.loads(
+            (state_dir / manifest["payload_dir"] / "matching_state.pkl").read_bytes()
+        )
+        assert isinstance(payload["decisions"], DecisionCache)
+
+    def test_cache_pickle_round_trip_rebuilds_the_index(self, saved_state):
+        matcher, _ = saved_state
+        cache = matcher.state.decisions
+        repickled = pickle.loads(pickle.dumps(cache))
+        assert repickled == cache
+        assert len(repickled) == len(cache)
+        keys = [c.key for c in matcher.candidates()]
+        assert all(key in repickled for key in keys)
+        assert repickled.vector(keys) == cache.vector(keys)
 
 
 class TestProfileStoreRoundTrip:

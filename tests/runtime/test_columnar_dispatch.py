@@ -1,0 +1,236 @@
+"""Columnar dispatch: byte-identical to the object route, at any setting.
+
+``RuntimeConfig.columnar_dispatch`` selects whether profiled inference
+chunks run ``score_profiled`` (probability arrays, lazy
+:class:`~repro.matching.decisions.DecisionVector`) or ``decide_profiled``
+(per-pair :class:`~repro.matching.base.MatchDecision` objects).  The
+contract mirrors the profile-cache suite: the knob must never change a
+single bit of the output — decisions, positive edges, groups — at any
+worker count, on either executor, warm pool on or off; matchers without
+the columnar protocol must fall back to the object route transparently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blocking import CombinedBlocking, IdOverlapBlocking, TokenOverlapBlocking
+from repro.core.cleanup import CleanupConfig
+from repro.core.pipeline import EntityGroupMatchingPipeline
+from repro.core.precleanup import PreCleanupConfig
+from repro.core.stages import apply_pre_cleanup
+from repro.datagen import GenerationConfig, generate_benchmark
+from repro.matching import LogisticRegressionMatcher, ThresholdNameMatcher
+from repro.matching.decisions import DecisionVector
+from repro.matching.heuristic import IdOverlapMatcher
+from repro.matching.pairs import as_record_pairs, build_labeled_pairs
+from repro.runtime import PipelineRuntime, RuntimeConfig, StageProfiler
+
+
+@pytest.fixture(scope="module")
+def setup():
+    benchmark = generate_benchmark(
+        GenerationConfig(num_entities=40, num_sources=4, seed=7,
+                         acquisition_rate=0.05, merger_rate=0.05)
+    )
+    companies = benchmark.companies
+    pairs = build_labeled_pairs(companies, negative_ratio=3, seed=0)
+    record_pairs, labels = as_record_pairs(pairs)
+    matcher = LogisticRegressionMatcher(num_iterations=80).fit(record_pairs, labels)
+    blocking = CombinedBlocking([IdOverlapBlocking(), TokenOverlapBlocking(top_n=3)])
+    candidates = blocking.candidate_pairs(companies)
+    return companies, matcher, blocking, candidates
+
+
+def run_matching(companies, matcher, candidates, **config):
+    with PipelineRuntime(RuntimeConfig(batch_size=32, **config)) as runtime:
+        return runtime.run_matching(matcher, companies, candidates)
+
+
+CONFIGS = [
+    pytest.param({"workers": 1}, id="serial"),
+    pytest.param({"workers": 2, "executor": "thread"}, id="thread"),
+    pytest.param({"workers": 2, "executor": "process"}, id="process"),
+    pytest.param({"workers": 2, "executor": "process", "warm_pool": False},
+                 id="process-cold"),
+    pytest.param({"workers": 2, "executor": "thread", "warm_pool": False},
+                 id="thread-cold"),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+class TestColumnarOnEqualsOff:
+    def test_logistic_decisions_bitwise_identical(self, setup, config):
+        companies, matcher, _, candidates = setup
+        columnar = run_matching(companies, matcher, candidates,
+                                columnar_dispatch=True, **config)
+        objects = run_matching(companies, matcher, candidates,
+                               columnar_dispatch=False, **config)
+        assert isinstance(columnar, DecisionVector)
+        assert not isinstance(objects, DecisionVector)
+        # Element-wise dataclass equality covers ids, verdicts and exact
+        # probabilities — both comparison directions go through the vector.
+        assert columnar == objects
+        assert [d.probability for d in columnar] == [d.probability for d in objects]
+        assert [d.is_match for d in columnar] == [d.is_match for d in objects]
+
+    def test_threshold_matcher_decisions_identical(self, setup, config):
+        companies, _, _, candidates = setup
+        matcher = ThresholdNameMatcher(similarity_threshold=0.9)
+        columnar = run_matching(companies, matcher, candidates,
+                                columnar_dispatch=True, **config)
+        objects = run_matching(companies, matcher, candidates,
+                               columnar_dispatch=False, **config)
+        assert columnar == objects
+
+    def test_non_columnar_matcher_falls_back(self, setup, config):
+        companies, _, _, candidates = setup
+        matcher = IdOverlapMatcher()
+        assert not matcher.columnar_capable
+        on = run_matching(companies, matcher, candidates,
+                          columnar_dispatch=True, **config)
+        off = run_matching(companies, matcher, candidates,
+                           columnar_dispatch=False, **config)
+        assert not isinstance(on, DecisionVector)
+        assert on == off
+
+    def test_pre_cleanup_mask_fast_path_identical(self, setup, config):
+        companies, matcher, _, candidates = setup
+        pre_config = PreCleanupConfig(max_component_size=30)
+        columnar = run_matching(companies, matcher, candidates,
+                                columnar_dispatch=True, **config)
+        objects = run_matching(companies, matcher, candidates,
+                               columnar_dispatch=False, **config)
+        assert (
+            apply_pre_cleanup(columnar, candidates, pre_config)
+            == apply_pre_cleanup(objects, candidates, pre_config)
+        )
+
+
+class TestEndToEndPipeline:
+    @pytest.mark.parametrize("runtime_config", [
+        pytest.param(RuntimeConfig(batch_size=64), id="serial"),
+        pytest.param(
+            RuntimeConfig(workers=2, batch_size=64, executor="process"),
+            id="process",
+        ),
+        pytest.param(
+            RuntimeConfig(workers=2, batch_size=64, executor="process",
+                          warm_pool=False),
+            id="process-cold",
+        ),
+    ])
+    def test_groups_identical_with_columnar_on_and_off(self, setup, runtime_config):
+        companies, matcher, blocking, _ = setup
+
+        def run(runtime):
+            pipeline = EntityGroupMatchingPipeline(
+                matcher=matcher,
+                blocking=blocking,
+                cleanup_config=CleanupConfig.for_num_sources(4),
+                pre_cleanup_config=PreCleanupConfig(max_component_size=30),
+                runtime=runtime,
+            )
+            return pipeline.run(companies)
+
+        from dataclasses import replace
+
+        on = run(runtime_config)
+        off = run(replace(runtime_config, columnar_dispatch=False))
+        assert isinstance(on.decisions, DecisionVector)
+        assert on.decisions == off.decisions
+        assert on.positive_edges == off.positive_edges
+        assert on.groups.groups == off.groups.groups
+        assert on.pre_cleanup_groups.groups == off.pre_cleanup_groups.groups
+
+
+class TestDecisionVector:
+    def make(self):
+        pairs = [("a", "b"), ("c", "d"), ("e", "f")]
+        probabilities = np.array([0.9, 0.2, 0.5], dtype=np.float64)
+        return DecisionVector(pairs, probabilities, threshold=0.5)
+
+    def test_sequence_protocol(self):
+        vector = self.make()
+        assert len(vector) == 3
+        assert vector[0].pair == ("a", "b")
+        assert vector[0].probability == 0.9
+        assert vector[0].is_match is True
+        assert vector[1].is_match is False
+        assert vector[2].is_match is True  # >= threshold, like decide()
+        assert vector[-1] == vector[2]
+        assert vector[1:] == [vector[1], vector[2]]
+        assert [d.left_id for d in vector] == ["a", "c", "e"]
+
+    def test_equality_against_lists_both_directions(self):
+        vector = self.make()
+        materialised = list(vector)
+        assert vector == materialised
+        assert materialised == vector
+        assert vector != materialised[:2]
+        assert vector != [*materialised[:2], vector[0]]
+
+    def test_positive_pairs_matches_object_filter(self):
+        vector = self.make()
+        assert vector.positive_pairs() == [
+            decision.pair for decision in vector if decision.is_match
+        ]
+
+    def test_explicit_mask_overrides_threshold(self):
+        vector = DecisionVector(
+            [("a", "b")], np.array([0.9]), is_match=np.array([False])
+        )
+        assert vector[0].is_match is False
+        assert vector.positive_pairs() == []
+
+    def test_misaligned_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionVector([("a", "b")], np.zeros(2), threshold=0.5)
+        with pytest.raises(ValueError):
+            DecisionVector([("a", "b")], np.zeros(1))  # no threshold, no mask
+
+
+class TestMechanics:
+    def test_chunk_items_record_pair_counts(self, setup):
+        companies, matcher, _, candidates = setup
+        profiler = StageProfiler()
+        with PipelineRuntime(RuntimeConfig(batch_size=32)) as runtime:
+            runtime.run_matching(matcher, companies, candidates, profiler)
+        items = profiler.chunk_items("pairwise_matching")
+        assert sum(items) == len(candidates)
+        assert all(count <= 32 for count in items)
+        throughput = profiler.chunk_throughput("pairwise_matching")
+        assert len(throughput) == len(items)
+        assert all(t is None or t > 0 for t in throughput)
+        assert profiler.stage_throughput("pairwise_matching") > 0
+
+    def test_precomputed_id_pairs_short_circuit(self, setup):
+        companies, matcher, _, candidates = setup
+        id_pairs = [(c.left_id, c.right_id) for c in candidates]
+        with PipelineRuntime(RuntimeConfig(batch_size=32)) as runtime:
+            direct = runtime.run_matching(matcher, companies, candidates)
+            precomputed = runtime.run_matching(
+                matcher, companies, candidates, id_pairs=id_pairs
+            )
+        assert direct == precomputed
+
+    def test_misaligned_id_pairs_rejected(self, setup):
+        companies, matcher, _, candidates = setup
+        with PipelineRuntime(RuntimeConfig(batch_size=32)) as runtime:
+            with pytest.raises(ValueError):
+                runtime.run_matching(
+                    matcher, companies, candidates, id_pairs=[("a", "b")]
+                )
+
+    def test_config_rejects_non_bool_columnar_dispatch(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(columnar_dispatch="yes")
+
+    def test_spec_roundtrip_keeps_columnar_dispatch(self):
+        from repro.specs.pipeline import RuntimeSpec
+
+        spec = RuntimeSpec(columnar_dispatch=False)
+        assert spec.to_dict() == {"columnar_dispatch": False}
+        parsed = RuntimeSpec.from_dict(spec.to_dict(), "pipeline.runtime")
+        assert parsed.columnar_dispatch is False
+        assert parsed.to_runtime_config().columnar_dispatch is False
+        assert RuntimeSpec().to_dict() == {}  # default on stays implicit
