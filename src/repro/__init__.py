@@ -30,9 +30,14 @@ initialisation.
 
 from __future__ import annotations
 
+import logging
 from typing import Any
 
 __version__ = "1.0.0"
+
+# Library logging hygiene: everything under the "repro" namespace is silent
+# until an application (or the CLI's --verbose flag) attaches a handler.
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 # Public name -> (module, attribute) for lazy resolution.
 _LAZY_EXPORTS: dict[str, tuple[str, str]] = {

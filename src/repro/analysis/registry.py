@@ -35,6 +35,7 @@ RULES = ComponentRegistry(
         "repro.analysis.rules.concurrency",
         "repro.analysis.rules.registry_refs",
         "repro.analysis.rules.hygiene",
+        "repro.analysis.rules.observability",
     ),
 )
 

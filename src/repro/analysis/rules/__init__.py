@@ -11,7 +11,9 @@ Each sibling module groups the rules guarding one contract family:
 * :mod:`~repro.analysis.rules.registry_refs` — name resolution against the
   component registries (``registry-consistency``),
 * :mod:`~repro.analysis.rules.hygiene` — library output discipline
-  (``print-in-library``).
+  (``print-in-library``),
+* :mod:`~repro.analysis.rules.observability` — clock discipline for the
+  tracing layer (``obs-clock-discipline``).
 
 Modules are imported lazily by the rule registry
 (:data:`repro.analysis.registry.RULES`), so importing this package does not

@@ -17,6 +17,9 @@ accompanying code exposes:
   concatenated batches,
 * ``repro state show`` — inspect a match state directory (and export its
   current groups),
+* ``repro report`` — render a ``--trace`` JSONL run trace as a span tree
+  with per-stage throughput and cache-hit summaries, or export it as Chrome
+  ``trace_event`` JSON (``--chrome``) for flame-chart viewing,
 * ``repro lint`` — the project-contract static analyser
   (:mod:`repro.analysis`): AST rules enforcing the determinism, two-phase
   protocol and pool-safety invariants, with ``--select``/``--ignore``,
@@ -86,6 +89,7 @@ _RUNTIME_FLAG_KEYS = (
     "profile_cache",
     "columnar_dispatch",
     "warm_pool",
+    "trace",
 )
 
 
@@ -131,6 +135,10 @@ def _add_runtime_flags(parser: argparse.ArgumentParser, *, overrides: bool) -> N
                              "once per revision (byte-identical output either "
                              "way; --no-warm-pool restores the pool-per-call "
                              "engine)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="stream a structured run trace (spans + metrics, "
+                             "JSON Lines) to this file; inspect it with "
+                             "'repro report' (tracing never changes outputs)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GraLMatch reproduction: entity group matching tooling",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="library log level on stderr: -v INFO, -vv DEBUG "
+                             "(default: warnings only)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser(
@@ -237,6 +248,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list the registered rules and exit")
 
+    report = subparsers.add_parser(
+        "report",
+        help="render a --trace JSONL file as a span tree with per-stage "
+             "throughput and cache-hit summaries",
+    )
+    report.add_argument("trace", type=Path, help="trace JSONL file written "
+                        "by --trace on run/match/ingest")
+    report.add_argument("--chrome", type=Path, default=None, metavar="OUT",
+                        help="also export the trace as Chrome trace_event "
+                             "JSON (load in chrome://tracing or Perfetto)")
+
     state = subparsers.add_parser(
         "state", help="inspect persistent match state directories"
     )
@@ -327,6 +349,7 @@ def _command_match(args: argparse.Namespace) -> int:
                     profile_cache=args.profile_cache,
                     columnar_dispatch=args.columnar_dispatch,
                     warm_pool=args.warm_pool,
+                    trace=args.trace,
                 ),
             ),
         )
@@ -543,6 +566,36 @@ def _command_lint(args: argparse.Namespace) -> int:
     return 1 if result.findings else 0
 
 
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        TraceFormatError,
+        chrome_trace,
+        read_trace_jsonl,
+        render_trace_report,
+    )
+
+    if not args.trace.exists():
+        print(f"error: trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        trace = read_trace_jsonl(args.trace)
+    except TraceFormatError as error:
+        print(f"error: invalid trace {args.trace}: {error}", file=sys.stderr)
+        return 2
+    print(render_trace_report(trace))
+    if args.chrome is not None:
+        args.chrome.parent.mkdir(parents=True, exist_ok=True)
+        payload = chrome_trace(trace)
+        args.chrome.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote {len(payload['traceEvents'])} trace events to {args.chrome}"
+        )
+    return 0
+
+
 def _command_state(args: argparse.Namespace) -> int:
     from repro.incremental import MatchStateError, read_manifest
 
@@ -576,6 +629,7 @@ _COMMANDS = {
     "run": _command_run,
     "ingest": _command_ingest,
     "lint": _command_lint,
+    "report": _command_report,
     "state": _command_state,
 }
 
@@ -584,6 +638,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        from repro.obs import configure_cli_logging
+
+        configure_cli_logging(args.verbose)
     return _COMMANDS[args.command](args)
 
 

@@ -194,13 +194,16 @@ class EntityGroupMatchingPipeline:
         on the global match graph and stay single-pass.  Serial and parallel
         engines produce identical results.
         """
-        profiler = StageProfiler()
+        profiler = self.runtime.profiler()
         context = PipelineContext(
             dataset=dataset, runtime=self.runtime, profiler=profiler
         )
-        for stage in self.stages:
-            with profiler.stage(stage.name):
-                stage.run(context)
+        with profiler.recorder.span(
+            "pipeline.run", kind="run", records=len(dataset)
+        ):
+            for stage in self.stages:
+                with profiler.stage(stage.name):
+                    stage.run(context)
         return self._to_result(context, profiler)
 
     def _to_result(

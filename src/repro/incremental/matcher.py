@@ -267,13 +267,24 @@ class IncrementalMatcher:
         do not poison.
         """
         self._check_poisoned()
-        state = self.state
-        profiler = StageProfiler()
+        profiler = self.runtime.profiler()
         report = IngestReport()
         batch = list(new_records)
         self._validate_new(batch)
         try:
-            return self._ingest(batch, profiler, report)
+            with profiler.recorder.span(
+                "ingest", kind="run", new_records=len(batch)
+            ) as span:
+                result = self._ingest(batch, profiler, report)
+                if span is not None:
+                    span.attributes.update(
+                        records_rescored=result.records_rescored,
+                        pairs_scored=result.pairs_scored,
+                        pairs_reused=result.pairs_reused,
+                        components_recleaned=result.components_recleaned,
+                        components_reused=result.components_reused,
+                    )
+                return result
         except Exception as error:
             self._poisoned = f"ingest failed mid-update: {error!r}"
             raise
@@ -318,6 +329,20 @@ class IncrementalMatcher:
 
         state.num_ingests += 1
         report.timings = profiler.as_timings()
+        recorder = profiler.recorder
+        if recorder.enabled:
+            # The ingest deltas, as whole-run counters: what this batch
+            # added, what it rescored, and what the decision cache and
+            # clean-up memo served without recomputation.
+            metrics = recorder.metrics
+            metrics.add("ingest.new_records", report.num_new_records)
+            metrics.add("ingest.records_rescored", report.records_rescored)
+            metrics.add("decision_cache.hits", report.pairs_reused)
+            metrics.add("decision_cache.misses", report.pairs_scored)
+            metrics.add("cleanup_memo.hits", report.components_reused)
+            metrics.add("cleanup_memo.misses", report.components_recleaned)
+            metrics.gauge("ingest.num_records", report.num_records)
+            metrics.gauge("ingest.num_candidates", report.num_candidates)
         self.last_report = report
         return report
 

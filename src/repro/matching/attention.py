@@ -21,13 +21,13 @@ knobs (serialisation scheme, token budget, training-set size).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.matching.base import RecordPair, TrainablePairwiseMatcher
+from repro.obs import clock
 from repro.matching.features import PairFeatureExtractor
 from repro.matching.nn import (
     Adam,
@@ -309,7 +309,7 @@ class TransformerPairClassifier(TrainablePairwiseMatcher):
         if not pairs:
             raise ValueError("cannot fit on an empty training set")
 
-        start_time = time.perf_counter()
+        start_time = clock.now()
 
         corpus = (
             self.serializer.serialize_pair_text(left.attributes(), right.attributes())
@@ -369,7 +369,7 @@ class TransformerPairClassifier(TrainablePairwiseMatcher):
             for parameter, saved in zip(self.network.parameters(), best_snapshot):
                 parameter.value[...] = saved
 
-        self.history.training_seconds = time.perf_counter() - start_time
+        self.history.training_seconds = clock.now() - start_time
         return self
 
     def _class_weights(self, targets: np.ndarray) -> np.ndarray:

@@ -219,6 +219,10 @@ def gather_pair_similarities(
     else:
         stripped_missing = list(range(stripped_count))
 
+    store.sim_cache_misses += len(name_missing) + len(stripped_missing)
+    store.sim_cache_hits += (name_count - len(name_missing)) + (
+        stripped_count - len(stripped_missing)
+    )
     if name_missing or stripped_missing:
         name_packed = (
             _pack_missing_pairs(strings, name_left, name_right, name_missing)
@@ -294,6 +298,8 @@ def gather_name_similarities(
             missing.append(index)
         else:
             jaro_winkler[index], levenshtein[index], lcs[index] = sims
+    store.sim_cache_misses += len(missing)
+    store.sim_cache_hits += count - len(missing)
     if missing:
         packed = _pack_missing_pairs(strings, unique_left, unique_right, missing)
         jw_new = jaro_winkler_similarity_packed(
@@ -329,6 +335,8 @@ def gather_stripped_similarities(
             missing.append(index)
         else:
             similarities[index] = value
+    store.sim_cache_misses += len(missing)
+    store.sim_cache_hits += count - len(missing)
     if missing:
         packed = _pack_missing_pairs(strings, unique_left, unique_right, missing)
         jw_new = jaro_winkler_similarity_packed(
@@ -637,12 +645,18 @@ class PairFeatureExtractor:
                     ),
                 )
                 store.name_similarity_cache[name_key] = name_sims
+                store.sim_cache_misses += 1
+            else:
+                store.sim_cache_hits += 1
             name_jw, name_lev, name_lcs = name_sims
             stripped_key = (left.stripped_name, right.stripped_name)
             stripped_jw = store.stripped_similarity_cache.get(stripped_key)
             if stripped_jw is None:
                 stripped_jw = jaro_winkler_similarity(*stripped_key)
                 store.stripped_similarity_cache[stripped_key] = stripped_jw
+                store.sim_cache_misses += 1
+            else:
+                store.sim_cache_hits += 1
         identifier_overlaps, identifier_conflicts, isin_overlap = (
             self._identifier_features(left, right)
         )

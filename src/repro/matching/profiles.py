@@ -385,6 +385,8 @@ class ProfileStore:
         "revision",
         "name_similarity_cache",
         "stripped_similarity_cache",
+        "sim_cache_hits",
+        "sim_cache_misses",
         "_profile_cache",
     )
 
@@ -421,6 +423,12 @@ class ProfileStore:
         self.name_similarity_cache: dict[tuple[str, str], tuple[float, float, float]] = {}
         #: (stripped_name, stripped_name) → jaro_winkler.
         self.stripped_similarity_cache: dict[tuple[str, str], float] = {}
+        #: Similarity-memo accounting (transient, like the caches they
+        #: count): gather paths bulk-increment these; :meth:`memo_stats`
+        #: reads them.  Counting is unconditional — two int adds per *batch*
+        #: on the gather paths — so no recorder handle needs to reach here.
+        self.sim_cache_hits = 0
+        self.sim_cache_misses = 0
         #: record id → materialised :class:`RecordProfile`, filled lazily by
         #: :meth:`get` (profiles are views over the columns, reconstructed
         #: exactly; the columns are the source of truth).
@@ -457,6 +465,16 @@ class ProfileStore:
         if added:
             self.revision += 1
         return added
+
+    def memo_stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the similarity memo caches so far.
+
+        Counts distinct-pair lookups on the gather paths: a *miss* computed
+        a similarity fresh, a *hit* served it from the per-store memo.
+        Transient like the caches themselves — a shipped worker copy starts
+        back at zero.
+        """
+        return self.sim_cache_hits, self.sim_cache_misses
 
     def _intern(self, value: str) -> int:
         index = self._string_ids.get(value)

@@ -15,13 +15,13 @@ paper's fine-tuning protocol (Section 5.1.3 / 5.2):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.datagen.records import Dataset
 from repro.matching.base import PairwiseMatcher, TrainablePairwiseMatcher
 from repro.matching.models import ModelSpec, build_matcher, resolve_model_spec
+from repro.obs import clock
 from repro.matching.pairs import (
     LabeledPair,
     PairSampler,
@@ -103,7 +103,7 @@ class FineTuner:
         train_pairs = self.build_pairs(dataset, train_entities, spec)
         validation_pairs = self.build_pairs(dataset, validation_entities, spec)
 
-        start = time.perf_counter()
+        start = clock.now()
         if isinstance(matcher, TrainablePairwiseMatcher):
             record_pairs, labels = as_record_pairs(train_pairs)
             validation_record_pairs, validation_labels = as_record_pairs(validation_pairs)
@@ -113,7 +113,7 @@ class FineTuner:
                 validation_pairs=validation_record_pairs,
                 validation_labels=validation_labels,
             )
-        elapsed = time.perf_counter() - start
+        elapsed = clock.now() - start
 
         return FineTuneResult(
             matcher=matcher,

@@ -1,0 +1,59 @@
+"""Logging hygiene for the ``repro`` library.
+
+The library logs under the ``"repro"`` namespace and, per stdlib
+convention, never configures handlers on import — :mod:`repro`'s package
+``__init__`` attaches a ``NullHandler`` to the root ``"repro"`` logger so
+an un-configured embedder sees no "No handlers could be found" noise and
+no surprise output.  Applications opt in: the CLI's ``--verbose/-v`` flag
+calls :func:`configure_cli_logging`, which routes the namespace to stderr
+(stdout is reserved for machine-readable command output).
+
+Observability warnings (an unwritable ``--trace`` path, a failing sink)
+go through these loggers instead of being swallowed — tracing must never
+break a run, but it also must not fail silently.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TextIO
+
+__all__ = ["LIBRARY_LOGGER_NAME", "configure_cli_logging", "get_logger"]
+
+#: Root of the library's logger namespace.
+LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The library logger, or a dotted child of it.
+
+    ``get_logger()`` returns the root ``"repro"`` logger;
+    ``get_logger("obs.sinks")`` returns ``"repro.obs.sinks"``.
+    """
+    if not name:
+        return logging.getLogger(LIBRARY_LOGGER_NAME)
+    return logging.getLogger(f"{LIBRARY_LOGGER_NAME}.{name}")
+
+
+def configure_cli_logging(verbosity: int, stream: TextIO | None = None) -> None:
+    """Wire ``repro.*`` log records to ``stream`` (default stderr) for a CLI run.
+
+    ``verbosity`` is the ``-v`` count: 0 shows warnings only, 1 (``-v``)
+    adds INFO, 2+ (``-vv``) adds DEBUG.  Idempotent per process — rerunning
+    (as CLI tests do in one interpreter) replaces the previous CLI handler
+    rather than stacking duplicates.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    logger = get_logger()
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler._repro_cli_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.addHandler(handler)

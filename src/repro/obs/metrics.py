@@ -1,0 +1,100 @@
+"""Run-level counters and gauges.
+
+A :class:`Metrics` registry is the numeric half of the observability layer
+(:mod:`repro.obs.trace` is the temporal half): named monotonic **counters**
+(cache hits, payload publishes, pairs scored) and last-value **gauges**
+(pool width, corpus size).  Producers call :meth:`Metrics.add` /
+:meth:`Metrics.gauge` with dotted names; nothing is pre-registered, a first
+touch creates the series.
+
+Naming convention: dotted, ``<subsystem>.<series>``.  Counter *pairs* named
+``<family>.hits`` / ``<family>.misses`` are understood by the report
+renderer (:mod:`repro.obs.report`), which derives per-family hit rates —
+new cache instrumentation gets rate reporting for free by following the
+convention.
+
+:data:`NULL_METRICS` is the disabled default: a shared, stateless no-op
+whose methods return immediately, so instrumented code paths cost nothing
+when no one is observing.  Instrumentation on hot paths must additionally
+be *bulk*: one ``add(name, n)`` per batch with an already-computed count,
+never one call per pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Metrics", "NullMetrics", "NULL_METRICS"]
+
+
+class Metrics:
+    """A registry of named counters (monotonic) and gauges (last value)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """All counters, sorted by name (a copy)."""
+        return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> dict[str, float]:
+        """All gauges, sorted by name (a copy)."""
+        return dict(sorted(self._gauges.items()))
+
+    def snapshot(self) -> dict[str, Any]:
+        """``{"counters": {...}, "gauges": {...}}``, both name-sorted."""
+        return {"counters": self.counters(), "gauges": self.gauges()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Metrics(counters={len(self._counters)}, gauges={len(self._gauges)})"
+
+
+class NullMetrics:
+    """The disabled registry: every method is a constant-time no-op."""
+
+    enabled = False
+
+    def add(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def counters(self) -> dict[str, int]:
+        return {}
+
+    def gauges(self) -> dict[str, float]:
+        return {}
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullMetrics()"
+
+
+#: The shared disabled registry — the default everywhere a ``Metrics`` is
+#: accepted, so un-traced runs never allocate per-series state.
+NULL_METRICS = NullMetrics()

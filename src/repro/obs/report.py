@@ -1,0 +1,107 @@
+"""Human-readable trace reports: the ``repro report`` renderer.
+
+Turns a :class:`~repro.obs.trace.Trace` into a terminal summary: the span
+tree with per-span durations, chunk children collapsed into a per-stage
+throughput line (count, items, items/s), instant events inline, then the
+final counters with derived hit rates for every ``<family>.hits`` /
+``<family>.misses`` counter pair (the naming convention from
+:mod:`repro.obs.metrics` — new caches get a rate line for free).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.trace import Span, Trace
+
+__all__ = ["render_trace_report"]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _format_attrs(attributes: dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = ", ".join(f"{key}={value}" for key, value in attributes.items())
+    return f"  [{parts}]"
+
+
+def _chunk_summary(chunks: list[Span]) -> str:
+    items = sum(int(chunk.attributes.get("items", 0)) for chunk in chunks)
+    busy = sum(chunk.duration for chunk in chunks)
+    line = f"{len(chunks)} chunks"
+    if items:
+        line += f", {items} items"
+        if busy > 0:
+            line += f", {items / busy:,.0f} items/s"
+    line += f", {_format_seconds(busy)} worker time"
+    return line
+
+
+def _render_span(span: Span, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    if span.kind == "event":
+        lines.append(f"{pad}· {span.name}{_format_attrs(span.attributes)}")
+        return
+    lines.append(
+        f"{pad}{span.name} [{span.kind}] "
+        f"{_format_seconds(span.duration)}{_format_attrs(span.attributes)}"
+    )
+    chunks = [child for child in span.children if child.kind == "chunk"]
+    if chunks:
+        lines.append(f"{pad}  {_chunk_summary(chunks)}")
+    for child in span.children:
+        if child.kind != "chunk":
+            _render_span(child, indent + 1, lines)
+
+
+def _hit_rates(counters: dict[str, int]) -> list[tuple[str, int, int]]:
+    """``(family, hits, misses)`` for every ``.hits``/``.misses`` pair."""
+    rates = []
+    for name, hits in counters.items():
+        if not name.endswith(".hits"):
+            continue
+        family = name[: -len(".hits")]
+        misses = counters.get(f"{family}.misses")
+        if misses is None:
+            continue
+        rates.append((family, hits, misses))
+    return rates
+
+
+def render_trace_report(trace: Trace) -> str:
+    """``trace`` as a multi-line terminal report (no trailing newline)."""
+    lines: list[str] = []
+    if trace.spans:
+        lines.append("Trace")
+        lines.append("=====")
+        for span in trace.spans:
+            _render_span(span, 0, lines)
+    else:
+        lines.append("Trace contains no spans.")
+    rates = _hit_rates(trace.counters)
+    if rates:
+        lines.append("")
+        lines.append("Cache hit rates")
+        lines.append("---------------")
+        for family, hits, misses in rates:
+            total = hits + misses
+            rate = (hits / total * 100.0) if total else 0.0
+            lines.append(f"{family}: {hits}/{total} hits ({rate:.1f}%)")
+    if trace.counters:
+        lines.append("")
+        lines.append("Counters")
+        lines.append("--------")
+        for name, value in trace.counters.items():
+            lines.append(f"{name}: {value}")
+    if trace.gauges:
+        lines.append("")
+        lines.append("Gauges")
+        lines.append("------")
+        for name, value in trace.gauges.items():
+            lines.append(f"{name}: {value:g}")
+    return "\n".join(lines)

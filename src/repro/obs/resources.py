@@ -1,0 +1,45 @@
+"""Process resource accounting: CPU budget and peak memory.
+
+Small, stdlib-only probes shared by the benchmarks and the observability
+layer so every result row and trace report describes the machine the same
+way.  Both functions degrade gracefully on platforms missing the probe
+rather than raising.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+__all__ = ["effective_cpu_count", "peak_rss_bytes"]
+
+
+def effective_cpu_count() -> int:
+    """CPU cores actually available to this process.
+
+    Prefers the scheduler affinity mask (what cgroup/taskset-limited CI
+    runners really grant) over ``os.cpu_count()``'s machine total.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def peak_rss_bytes() -> int | None:
+    """High-water resident set size of this process, in bytes.
+
+    Reads ``resource.getrusage(RUSAGE_SELF).ru_maxrss``; the unit is
+    kilobytes on Linux and bytes on macOS, normalised here.  Returns
+    ``None`` where the ``resource`` module is unavailable (e.g. Windows).
+    Note this is the lifetime peak — it never decreases, and in a pooled
+    run it covers only the parent process, not the workers.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return int(peak)
+    return int(peak) * 1024

@@ -1,0 +1,239 @@
+"""Trace sinks: where completed spans stream while a run executes.
+
+A sink is anything with ``write(record: dict)`` / ``close()``.  The
+recorder (:mod:`repro.obs.trace`) emits flat records:
+
+* a **span** record per completed span —
+  ``{"type": "span", "id", "parent", "name", "kind", "start", "end",
+  "attrs"?}`` where ``parent`` links the enclosing span's id (``null`` for
+  roots) and ``attrs`` is present only when non-empty,
+* one final **metrics** record from ``finish()`` —
+  ``{"type": "metrics", "counters": {...}, "gauges": {...}}``.
+
+Three sinks cover the built-in workflows: the recorder itself is the
+in-memory sink (its tree is always kept), :class:`MemorySink` captures the
+raw record stream for tests, and :class:`JsonlSink` streams records to a
+file — one JSON object per line, headed by a version record, flushed per
+line so a crashed run still leaves a readable prefix.  ``--trace out.jsonl``
+on the CLI wires a :class:`JsonlSink` in; ``repro report`` reads the file
+back with :func:`read_trace_jsonl`.
+
+Failure contract: a sink must never break the run it observes.
+:class:`JsonlSink` catches ``OSError`` on open/write, warns once through the
+``repro`` logger, and disables itself — the run continues untraced.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.obs.logs import get_logger
+from repro.obs.trace import Span, Trace
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "JsonlSink",
+    "MemorySink",
+    "TraceFormatError",
+    "read_trace_jsonl",
+]
+
+#: Version stamped into (and required of) a JSONL trace file's header line.
+TRACE_FORMAT_VERSION = 1
+
+_logger = get_logger("obs.sinks")
+
+
+class MemorySink:
+    """Collects the raw record stream in a list (for tests and tooling)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+        self.closed = False
+
+    def write(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink:
+    """Streams trace records to ``path`` as JSON Lines.
+
+    The file opens lazily on the first record (a traced run that records
+    nothing leaves no file), starts with a header line::
+
+        {"type": "trace", "version": 1}
+
+    and is flushed after every record.  Unwritable paths degrade, never
+    raise: the first ``OSError`` logs one warning and turns every later
+    ``write`` into a no-op.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: TextIO | None = None
+        self._broken = False
+
+    def write(self, record: dict[str, Any]) -> None:
+        if self._broken:
+            return
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("w", encoding="utf-8")
+                self._write_line(
+                    {"type": "trace", "version": TRACE_FORMAT_VERSION}
+                )
+            self._write_line(record)
+        except OSError as error:
+            self._broken = True
+            self._handle = None
+            _logger.warning(
+                "trace sink disabled: cannot write %s (%s); the run "
+                "continues untraced",
+                self.path,
+                error,
+            )
+
+    def _write_line(self, record: dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close-time races only
+                pass
+            self._handle = None
+
+
+class TraceFormatError(ValueError):
+    """A trace JSONL file does not follow the record schema."""
+
+
+def _expect(condition: bool, line_number: int, message: str) -> None:
+    if not condition:
+        raise TraceFormatError(f"line {line_number}: {message}")
+
+
+def read_trace_jsonl(path: str | Path) -> Trace:
+    """Parse a :class:`JsonlSink` file back into a :class:`Trace`.
+
+    Validates the schema as it reads — header first, known record types,
+    required span fields, parent links that resolve — then reconstructs the
+    span tree exactly as the recorder held it.  Spans stream out on
+    *completion*, so children appear before their parents; but the recorder
+    is a single stack, so siblings close (and therefore emit) in attachment
+    order, and linking each span to its parent in emission order rebuilds
+    every ``children`` list exactly.  The result equals
+    ``recorder.trace()`` for the same run (the round-trip suite pins this).
+    Raises :class:`TraceFormatError` on any malformed line.
+    """
+    path = Path(path)
+    spans_by_id: dict[int, Span] = {}
+    #: ``(line_number, span_id, parent_id)`` in emission order.
+    links: list[tuple[int, int, int | None]] = []
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(
+                    f"line {line_number}: not valid JSON ({error})"
+                ) from None
+            _expect(isinstance(record, dict), line_number, "expected a JSON object")
+            kind = record.get("type")
+            if line_number == 1:
+                _expect(
+                    kind == "trace",
+                    line_number,
+                    'expected the header {"type": "trace", ...} first',
+                )
+                _expect(
+                    record.get("version") == TRACE_FORMAT_VERSION,
+                    line_number,
+                    f"unsupported trace version {record.get('version')!r} "
+                    f"(expected {TRACE_FORMAT_VERSION})",
+                )
+                continue
+            if kind == "span":
+                span_id = record.get("id")
+                _expect(
+                    isinstance(span_id, int) and span_id not in spans_by_id,
+                    line_number,
+                    "span records need a unique integer id",
+                )
+                for key in ("name", "kind"):
+                    _expect(
+                        isinstance(record.get(key), str),
+                        line_number,
+                        f"span records need a string {key!r}",
+                    )
+                _expect(
+                    isinstance(record.get("start"), (int, float))
+                    and isinstance(record.get("end"), (int, float)),
+                    line_number,
+                    "span records need numeric start/end",
+                )
+                attrs = record.get("attrs", {})
+                _expect(
+                    isinstance(attrs, dict),
+                    line_number,
+                    "span attrs must be an object",
+                )
+                span = Span(
+                    name=record["name"],
+                    kind=record["kind"],
+                    start=float(record["start"]),
+                    end=float(record["end"]),
+                    attributes=attrs,
+                )
+                spans_by_id[span_id] = span
+                parent_id = record.get("parent")
+                _expect(
+                    parent_id is None or isinstance(parent_id, int),
+                    line_number,
+                    "span parent must be an integer id or null",
+                )
+                links.append((line_number, span_id, parent_id))
+            elif kind == "metrics":
+                raw_counters = record.get("counters", {})
+                raw_gauges = record.get("gauges", {})
+                _expect(
+                    isinstance(raw_counters, dict) and isinstance(raw_gauges, dict),
+                    line_number,
+                    "metrics records need counters/gauges objects",
+                )
+                counters.update(raw_counters)
+                gauges.update(raw_gauges)
+            elif kind == "trace":
+                raise TraceFormatError(
+                    f"line {line_number}: duplicate trace header"
+                )
+            else:
+                raise TraceFormatError(
+                    f"line {line_number}: unknown record type {kind!r}"
+                )
+    roots: list[Span] = []
+    for line_number, span_id, parent_id in links:
+        if parent_id is None:
+            roots.append(spans_by_id[span_id])
+        else:
+            _expect(
+                parent_id in spans_by_id,
+                line_number,
+                f"span parent {parent_id!r} does not name a span in this trace",
+            )
+            spans_by_id[parent_id].children.append(spans_by_id[span_id])
+    return Trace(spans=roots, counters=counters, gauges=gauges)

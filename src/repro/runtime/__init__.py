@@ -7,8 +7,14 @@ pool flavour; :class:`PipelineRuntime` executes the data-parallel stages
 underlying order-preserving fan-out primitive; :class:`StageProfiler`
 records stage and per-chunk wall-clock timings.
 
+Observability lives in :mod:`repro.obs`; the runtime is its producer:
+``RuntimeConfig.trace`` (or an explicit recorder handed to
+:class:`PipelineRuntime`) threads a trace recorder through the scheduler
+and pool, and the profiler doubles as the timings view over the trace.
+
 Serial and parallel execution are guaranteed to produce identical results —
-the regression suite pins this on a golden dataset.
+the regression suite pins this on a golden dataset — and tracing never
+changes outputs either.
 """
 
 from repro.runtime.config import EXECUTOR_KINDS, RuntimeConfig

@@ -85,6 +85,12 @@ class RuntimeConfig:
     #: pool-per-call engine.  Results are byte-identical either way; this
     #: knob trades resident worker processes for latency, never results.
     warm_pool: bool = True
+    #: Stream a structured run trace (spans + metrics, JSON Lines) to this
+    #: path; ``None`` (the default) installs the no-op recorder and the
+    #: engine does no observability work at all.  Like every other knob,
+    #: tracing only *observes*: outputs are byte-identical with tracing on
+    #: or off.  Read the file back with ``repro report``.
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -112,6 +118,10 @@ class RuntimeConfig:
         if not isinstance(self.warm_pool, bool):
             raise ValueError(
                 f"warm_pool must be a boolean, got {self.warm_pool!r}"
+            )
+        if self.trace is not None and not isinstance(self.trace, str):
+            raise ValueError(
+                f"trace must be a path string or None, got {self.trace!r}"
             )
 
     @property

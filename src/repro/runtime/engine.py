@@ -64,6 +64,8 @@ from repro.blocking.base import Blocking, CandidatePair, dedupe_pairs
 from repro.datagen.records import Dataset, Record
 from repro.matching.base import IdPair, MatchDecision, PairwiseMatcher, RecordPair
 from repro.matching.decisions import DecisionVector
+from repro.obs.sinks import JsonlSink
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.profiler import StageProfiler
 from repro.runtime.scheduler import ChunkScheduler, chunked, even_spans
@@ -182,22 +184,51 @@ def _owned_candidate_count(owned: list[tuple[CandidatePair, ...]]) -> int:
 
 
 class PipelineRuntime:
-    """Executes the data-parallel pipeline stages under a runtime config."""
+    """Executes the data-parallel pipeline stages under a runtime config.
 
-    def __init__(self, config: RuntimeConfig | None = None) -> None:
+    The runtime also owns the run's observability: ``recorder`` (or, when
+    omitted, ``config.trace`` → a JSONL-streaming
+    :class:`~repro.obs.trace.TraceRecorder`; no trace configured → the
+    shared no-op) is threaded through the scheduler and pool, and
+    :meth:`profiler` hands out stage profilers bound to it so stage/chunk
+    timings land in the trace.  Recording never steers execution — traced
+    and untraced runs produce byte-identical outputs.
+    """
+
+    def __init__(
+        self, config: RuntimeConfig | None = None, recorder: Any = None
+    ) -> None:
         self.config = config or RuntimeConfig()
-        self.scheduler = ChunkScheduler(self.config)
+        if recorder is not None:
+            self.recorder = recorder
+        elif self.config.trace is not None:
+            self.recorder = TraceRecorder(sink=JsonlSink(self.config.trace))
+        else:
+            self.recorder = NULL_RECORDER
+        self.scheduler = ChunkScheduler(self.config, recorder=self.recorder)
 
     # -- lifecycle ----------------------------------------------------------
 
+    def profiler(self) -> StageProfiler:
+        """A new stage profiler bound to this runtime's trace recorder.
+
+        Pipeline runs and ingest batches build their per-run profiler here,
+        so stage spans and chunk spans nest in the runtime's trace; without
+        a recorder this is exactly ``StageProfiler()``.
+        """
+        return StageProfiler(recorder=self.recorder)
+
     def close(self) -> None:
-        """Release the persistent worker pool and its published payloads.
+        """Release the persistent worker pool and its published payloads,
+        and finalise the trace (the recorder streams its metrics record and
+        releases the sink).
 
         Idempotent and non-terminal: the next parallel stage call lazily
         respawns a fresh pool.  Serial runtimes never spawn a pool, so this
         is a no-op for them.
         """
         self.scheduler.close()
+        self.recorder.finish()
 
     def __enter__(self) -> "PipelineRuntime":
         return self
@@ -391,6 +422,16 @@ class PipelineRuntime:
             plan = _MatchingPlan(matcher=matcher, profiles=profiles)
             id_batches = chunked(id_pairs, self.config.batch_size)
             columnar = self.config.columnar_dispatch and matcher.columnar_capable
+            # Similarity-memo accounting (trace only): delta the store's
+            # hit/miss counters around the stage.  In-process execution
+            # (serial, and threads — they share the store by reference) is
+            # fully counted; process-pool workers gather against their own
+            # shipped copies, which this parent-side delta cannot see.
+            memo_before = (
+                profiles.memo_stats()
+                if self.recorder.enabled and hasattr(profiles, "memo_stats")
+                else None
+            )
             scored = self.scheduler.map_chunks(
                 _score_profiled_chunk if columnar else _decide_profiled_chunk,
                 id_batches,
@@ -407,6 +448,15 @@ class PipelineRuntime:
                 shared_version=getattr(profiles, "revision", object()),
                 items=len,
             )
+            if memo_before is not None:
+                hits_before, misses_before = memo_before
+                hits_after, misses_after = profiles.memo_stats()
+                self.recorder.metrics.add(
+                    "profile_store.sim_memo.hits", hits_after - hits_before
+                )
+                self.recorder.metrics.add(
+                    "profile_store.sim_memo.misses", misses_after - misses_before
+                )
             if columnar:
                 # Concatenating the per-chunk vectors copies values bitwise,
                 # so the vector holds exactly the probabilities the object

@@ -50,6 +50,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.trace import NULL_RECORDER
 from repro.runtime.config import EXECUTOR_KINDS
 
 #: Globally unique epoch ids (parent side).  A plain monotonic counter:
@@ -144,14 +145,22 @@ def _shutdown_abandoned(executor: Executor | None, payload_dir: str | None) -> N
 
 
 class WorkerPool:
-    """A persistent executor plus the parent half of the epoch protocol."""
+    """A persistent executor plus the parent half of the epoch protocol.
 
-    def __init__(self, kind: str, workers: int) -> None:
+    ``recorder`` (default: the shared no-op) receives lifecycle trace
+    events — executor spawns, epoch publishes with payload bytes, publish
+    reuses — and mirrors :class:`PoolStats` into trace metrics.  The stats
+    object remains the pool-local view (benchmarks snapshot it directly);
+    the metrics are the whole-run aggregate across every pool a trace sees.
+    """
+
+    def __init__(self, kind: str, workers: int, *, recorder: Any = None) -> None:
         if kind not in EXECUTOR_KINDS:
             raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}")
         if workers < 1:
             raise ValueError(f"workers must be a positive integer, got {workers}")
         self.kind = kind
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         #: Pool width, fixed at construction from ``RuntimeConfig.workers``.
         #: Never clamped to a call's task count: executors start workers on
         #: demand, so excess slots cost nothing while idling, and resizing
@@ -182,6 +191,14 @@ class WorkerPool:
                 else:
                     self._executor = ThreadPoolExecutor(max_workers=self.workers)
                 self.stats.spawns += 1
+                if self.recorder.enabled:
+                    self.recorder.event(
+                        "pool.spawn",
+                        executor=self.kind,
+                        workers=self.workers,
+                        mode="warm",
+                    )
+                    self.recorder.metrics.add("pool.spawns")
                 self._refresh_finalizer()
             return self._executor
 
@@ -265,9 +282,15 @@ class WorkerPool:
                 and current.version == version
             ):
                 self.stats.publish_reuses += 1
+                if self.recorder.enabled:
+                    self.recorder.event(
+                        "pool.publish_reuse", slot=slot, epoch=current.epoch
+                    )
+                    self.recorder.metrics.add("pool.publish_reuses")
                 return current
             epoch = next(_EPOCH_IDS)
             path: str | None = None
+            payload_bytes: int | None = None
             if self.kind == "process":
                 if self._payload_dir is None:
                     self._payload_dir = tempfile.mkdtemp(prefix="repro-pool-")
@@ -275,6 +298,7 @@ class WorkerPool:
                 path = os.path.join(self._payload_dir, f"{slot}-{epoch:d}.pkl")
                 with open(path, "wb") as handle:
                     pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    payload_bytes = handle.tell()
                 if current is not None and current.path is not None:
                     # No in-flight tasks can reference the old epoch: map_chunks
                     # drains all futures before the next publish.
@@ -292,6 +316,14 @@ class WorkerPool:
             )
             self._epochs[slot] = published
             self.stats.publishes += 1
+            if self.recorder.enabled:
+                attributes: dict[str, Any] = {"slot": slot, "epoch": epoch}
+                if payload_bytes is not None:
+                    attributes["payload_bytes"] = payload_bytes
+                self.recorder.event("pool.publish", **attributes)
+                self.recorder.metrics.add("pool.publishes")
+                if payload_bytes is not None:
+                    self.recorder.metrics.add("pool.publish_bytes", payload_bytes)
             return published
 
     def current_epoch(self, slot: str) -> PublishedEpoch | None:

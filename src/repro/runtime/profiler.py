@@ -11,6 +11,19 @@ produced (candidate pairs for matching, candidates for blocking), which
 turns the raw durations into per-chunk throughputs
 (:meth:`StageProfiler.chunk_throughput`) — benches and the CLI's timing
 output show where time goes without any external timing.
+
+Since ``repro.obs`` landed, the profiler is also the *timings view over the
+run trace*: construct it with a :class:`~repro.obs.trace.TraceRecorder`
+(``PipelineRuntime.profiler()`` does) and every stage it times becomes a
+``stage`` span and every chunk a ``chunk`` span in the trace, while the
+flat accumulation dicts keep serving the stable ``as_timings()`` /
+throughput contract.  With the default :data:`~repro.obs.trace.NULL_RECORDER`
+nothing changes: the profiler works standalone exactly as before.
+
+Stage timings *accumulate* across repeated invocations of the same stage
+name — a multi-batch ingest reuses one runtime and runs ``delta_blocking``
+once per batch, and ``stage_seconds`` reports the total, not just the last
+batch.  (Earlier versions clobbered repeats.)
 """
 
 from __future__ import annotations
@@ -18,12 +31,20 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from collections.abc import Iterator
+from typing import Any
+
+from repro.obs.trace import NULL_RECORDER
 
 
 class StageProfiler:
-    """Records per-stage and per-chunk wall-clock timings of one run."""
+    """Records per-stage and per-chunk wall-clock timings of one run.
 
-    def __init__(self) -> None:
+    ``recorder`` (default: the shared no-op) additionally receives each
+    timed region as a trace span; the profiler never *requires* a trace.
+    """
+
+    def __init__(self, recorder: Any = None) -> None:
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         self._stages: dict[str, float] = {}
         self._chunks: dict[str, list[float]] = {}
         self._chunk_items: dict[str, list[int | None]] = {}
@@ -32,27 +53,59 @@ class StageProfiler:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Time a whole stage: ``with profiler.stage("blocking"): ...``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self._stages[name] = time.perf_counter() - start
+        """Time a whole stage: ``with profiler.stage("blocking"): ...``.
+
+        Repeated invocations of the same name accumulate.  The region is
+        also opened as a ``stage`` span on the recorder, so chunk spans and
+        events recorded inside nest under it.
+        """
+        with self.recorder.span(name, kind="stage"):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self._stages[name] = self._stages.get(name, 0.0) + elapsed
 
     def record_stage(self, name: str, seconds: float) -> None:
-        self._stages[name] = seconds
+        """Add ``seconds`` to stage ``name`` (accumulates across calls)."""
+        self._stages[name] = self._stages.get(name, 0.0) + seconds
 
     def record_chunk(
-        self, stage: str, seconds: float, items: int | None = None
+        self,
+        stage: str,
+        seconds: float,
+        items: int | None = None,
+        *,
+        start: float | None = None,
+        end: float | None = None,
+        attributes: dict[str, Any] | None = None,
     ) -> None:
         """Append one chunk duration to ``stage`` (chunks are ordered).
 
         ``items`` — how many items the chunk processed/produced (pairs for
         matching, candidates for blocking) — feeds the per-chunk throughput
         accessors; ``None`` when the caller has no meaningful count.
+
+        When the caller also knows the chunk's position on the shared
+        monotonic timeline (``start``/``end``, as the scheduler does for
+        worker-measured chunks), and a real recorder is attached, the chunk
+        lands in the trace as a ``chunk`` span with its index, item count
+        and any extra ``attributes``.
         """
-        self._chunks.setdefault(stage, []).append(seconds)
+        chunks = self._chunks.setdefault(stage, [])
+        index = len(chunks)
+        chunks.append(seconds)
         self._chunk_items.setdefault(stage, []).append(items)
+        if self.recorder.enabled and start is not None and end is not None:
+            span_attributes: dict[str, Any] = {"index": index}
+            if items is not None:
+                span_attributes["items"] = items
+            if attributes:
+                span_attributes.update(attributes)
+            self.recorder.add_span(
+                stage, kind="chunk", start=start, end=end, attributes=span_attributes
+            )
 
     # -- reading -----------------------------------------------------------
 

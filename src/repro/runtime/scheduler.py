@@ -33,7 +33,6 @@ closures and lambdas do not.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import (
     FIRST_EXCEPTION,
     Executor,
@@ -46,6 +45,8 @@ from functools import partial
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
+from repro.obs import clock
+from repro.obs.trace import NULL_RECORDER
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.pool import WorkerPool, load_epoch_payload
 from repro.runtime.profiler import StageProfiler
@@ -103,16 +104,19 @@ def split_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
     return [list(items[start:stop]) for start, stop in even_spans(len(items), parts)]
 
 
-def timed_call(fn: Callable[[T], R], chunk: T) -> tuple[R, float]:
-    """Run ``fn(chunk)`` and return ``(result, seconds)``.
+def timed_call(fn: Callable[[T], R], chunk: T) -> tuple[R, float, float]:
+    """Run ``fn(chunk)`` and return ``(result, start, end)``.
 
     Module-level so that ``partial(timed_call, fn)`` stays picklable for the
-    process pool; the duration is measured inside the worker and therefore
-    excludes queueing and result-transfer time.
+    process pool; the interval is measured inside the worker and therefore
+    excludes queueing and result-transfer time.  Endpoints are read from
+    :func:`repro.obs.clock.now` — a system-wide monotonic clock, so
+    worker-measured intervals land on the parent's trace timeline; the
+    duration is simply ``end - start``.
     """
-    start = time.perf_counter()
+    start = clock.now()
     result = fn(chunk)
-    return result, time.perf_counter() - start
+    return result, start, clock.now()
 
 
 #: Per-worker shared state installed by the process-pool initializer (cold
@@ -126,30 +130,43 @@ def _install_shared(value: Any) -> None:
     _worker_shared = value
 
 
-def _timed_shared_call(fn: Callable[[Any, T], R], chunk: T) -> tuple[R, float]:
+def _timed_shared_call(
+    fn: Callable[[Any, T], R], chunk: T
+) -> tuple[R, float, float]:
     """Cold-mode worker task: ``fn(shared, chunk)`` with initializer state."""
     return timed_call(partial(fn, _worker_shared), chunk)
 
 
 def _timed_epoch_call(
     fn: Callable[[Any, T], R], slot: str, epoch: int, path: str, chunk: T
-) -> tuple[R, float, bool]:
+) -> tuple[R, float, float, bool]:
     """Warm-mode worker task: fetch the epoch payload, then ``fn(payload, chunk)``.
 
-    Returns ``(result, seconds, fetched)`` — ``fetched`` tells the parent
+    Returns ``(result, start, end, fetched)`` — ``fetched`` tells the parent
     whether this task actually loaded the payload (at most once per worker
-    per epoch) or served it from the worker's cache.
+    per epoch) or served it from the worker's cache.  Worker-side trace data
+    rides back on this existing chunk-result channel; there is no separate
+    IPC for observability.
     """
     payload, fetched = load_epoch_payload(slot, epoch, path)
-    result, seconds = timed_call(partial(fn, payload), chunk)
-    return result, seconds, fetched
+    result, start, end = timed_call(partial(fn, payload), chunk)
+    return result, start, end, fetched
 
 
 class ChunkScheduler:
-    """Runs chunk functions according to a :class:`RuntimeConfig`."""
+    """Runs chunk functions according to a :class:`RuntimeConfig`.
 
-    def __init__(self, config: RuntimeConfig | None = None) -> None:
+    ``recorder`` (default: the shared no-op) receives pool lifecycle events
+    (executor spawns) and payload-fetch metrics; per-chunk spans flow through
+    the profiler handed to :meth:`map_chunks`.  Recording never alters
+    scheduling — results are byte-identical with or without a recorder.
+    """
+
+    def __init__(
+        self, config: RuntimeConfig | None = None, recorder: Any = None
+    ) -> None:
         self.config = config or RuntimeConfig()
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         self._pool: WorkerPool | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -166,7 +183,9 @@ class ChunkScheduler:
         because a call happens to carry fewer chunks than there are slots.
         """
         if self._pool is None:
-            self._pool = WorkerPool(self.config.executor, self.config.workers)
+            self._pool = WorkerPool(
+                self.config.executor, self.config.workers, recorder=self.recorder
+            )
         return self._pool
 
     def close(self) -> None:
@@ -194,6 +213,14 @@ class ChunkScheduler:
         # here precisely because the pool is discarded afterwards — a warm
         # pool is sized once from the config instead (see WorkerPool).
         workers = min(self.config.workers, num_tasks)
+        if self.recorder.enabled:
+            self.recorder.event(
+                "pool.spawn",
+                executor=self.config.executor,
+                workers=workers,
+                mode="cold",
+            )
+            self.recorder.metrics.add("pool.spawns")
         if self.config.executor == "process":
             if initializer_state is not None:
                 return ProcessPoolExecutor(
@@ -250,8 +277,8 @@ class ChunkScheduler:
         if not self._should_pool(len(chunks)):
             results = []
             for chunk in chunks:
-                result, seconds = timed_call(bound, chunk)
-                self._record(profiler, stage, seconds, result, items)
+                result, start, end = timed_call(bound, chunk)
+                self._record(profiler, stage, start, end, result, items)
                 results.append(result)
             return results
         if self.config.warm_pool:
@@ -295,14 +322,25 @@ class ChunkScheduler:
             futures = [executor.submit(timed_call, bound, chunk) for chunk in chunks]
         raw = self._collect(futures, on_error=lambda: pool.dispose(cancel=True))
         results = []
+        fetches = 0
         for item in raw:
+            extra = None
             if use_epochs:
-                result, seconds, fetched = item
-                pool.record_fetches(int(fetched))
+                result, start, end, fetched = item
+                fetches += int(fetched)
+                if self.recorder.enabled:
+                    extra = {"fetched": bool(fetched)}
             else:
-                result, seconds = item
-            self._record(profiler, stage, seconds, result, items)
+                result, start, end = item
+            self._record(profiler, stage, start, end, result, items, extra)
             results.append(result)
+        if use_epochs:
+            pool.record_fetches(fetches)
+            if self.recorder.enabled:
+                # Payload-fetch accounting per task: a "hit" is a task served
+                # from its worker's epoch cache, a "miss" re-read the spool.
+                self.recorder.metrics.add("pool.payload.misses", fetches)
+                self.recorder.metrics.add("pool.payload.hits", len(raw) - fetches)
         return results
 
     # -- cold mode (per-call pools, the pre-warm-pool behaviour) -----------
@@ -336,8 +374,8 @@ class ChunkScheduler:
                 on_error=lambda: executor.shutdown(wait=True, cancel_futures=True),
             )
             results = []
-            for result, seconds in raw:
-                self._record(profiler, stage, seconds, result, items)
+            for result, start, end in raw:
+                self._record(profiler, stage, start, end, result, items)
                 results.append(result)
             return results
         finally:
@@ -349,13 +387,20 @@ class ChunkScheduler:
     def _record(
         profiler: StageProfiler | None,
         stage: str | None,
-        seconds: float,
+        start: float,
+        end: float,
         result: Any = None,
         items: Callable[[Any], int] | None = None,
+        attributes: dict[str, Any] | None = None,
     ) -> None:
         if profiler is not None and stage is not None:
             profiler.record_chunk(
-                stage, seconds, items=None if items is None else items(result)
+                stage,
+                end - start,
+                items=None if items is None else items(result),
+                start=start,
+                end=end,
+                attributes=attributes,
             )
 
     @staticmethod

@@ -153,6 +153,7 @@ class RuntimeSpec:
     profile_cache: bool = True
     columnar_dispatch: bool = True
     warm_pool: bool = True
+    trace: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {}
@@ -170,6 +171,8 @@ class RuntimeSpec:
             data["columnar_dispatch"] = False
         if not self.warm_pool:
             data["warm_pool"] = False
+        if self.trace is not None:
+            data["trace"] = self.trace
         return data
 
     @classmethod
@@ -185,10 +188,14 @@ class RuntimeSpec:
                 "profile_cache",
                 "columnar_dispatch",
                 "warm_pool",
+                "trace",
             },
             key,
         )
         executor = _expect_str(table.get("executor", "process"), f"{key}.executor")
+        trace = table.get("trace")
+        if trace is not None:
+            trace = _expect_str(trace, f"{key}.trace")
         from repro.runtime import EXECUTOR_KINDS
 
         if executor not in EXECUTOR_KINDS:
@@ -211,6 +218,7 @@ class RuntimeSpec:
             warm_pool=_expect_bool(
                 table.get("warm_pool", True), f"{key}.warm_pool"
             ),
+            trace=trace,
         )
 
     def to_runtime_config(self):
@@ -224,6 +232,7 @@ class RuntimeSpec:
             profile_cache=self.profile_cache,
             columnar_dispatch=self.columnar_dispatch,
             warm_pool=self.warm_pool,
+            trace=self.trace,
         )
 
 

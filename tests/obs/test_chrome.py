@@ -1,0 +1,73 @@
+"""Chrome ``trace_event`` export: structure, rebasing, ordering."""
+
+import json
+
+from repro.obs import Span, Trace, TraceRecorder, chrome_trace, write_chrome_trace
+
+
+def sample_trace():
+    recorder = TraceRecorder()
+    with recorder.span("run", kind="run", records=4):
+        with recorder.span("blocking", kind="stage"):
+            recorder.event("pool.spawn", workers=2)
+            recorder.add_span("blocking", start=100.0, end=100.25,
+                              attributes={"index": 0, "items": 10})
+    recorder.metrics.add("cache.hits", 2)
+    recorder.metrics.gauge("width", 3)
+    return recorder.trace()
+
+
+class TestChromeTrace:
+    def test_structure_and_metadata(self):
+        payload = chrome_trace(sample_trace())
+        assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"] == {
+            "counters": {"cache.hits": 2},
+            "gauges": {"width": 3.0},
+        }
+
+    def test_spans_become_complete_events_and_instants(self):
+        events = chrome_trace(sample_trace())["traceEvents"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["run"]["ph"] == "X"
+        assert by_name["run"]["dur"] > 0
+        assert by_name["pool.spawn"]["ph"] == "i"
+        assert by_name["pool.spawn"]["s"] == "t"
+        assert "dur" not in by_name["pool.spawn"]
+        assert by_name["blocking"]["cat"] == "stage"
+
+    def test_timestamps_are_rebased_microseconds(self):
+        events = chrome_trace(sample_trace())["traceEvents"]
+        assert all(e["ts"] >= 0 for e in events)
+        assert min(e["ts"] for e in events) == 0.0
+
+    def test_events_are_time_ordered_with_parents_first(self):
+        trace = Trace(spans=[
+            Span("parent", start=1.0, end=3.0,
+                 children=[Span("child", kind="chunk", start=1.0, end=2.0)]),
+        ])
+        events = chrome_trace(trace)["traceEvents"]
+        assert [e["name"] for e in events] == ["parent", "child"]
+
+    def test_attributes_ride_in_args(self):
+        events = chrome_trace(sample_trace())["traceEvents"]
+        run = next(e for e in events if e["name"] == "run")
+        assert run["args"] == {"records": 4}
+
+    def test_single_thread_track(self):
+        events = chrome_trace(sample_trace())["traceEvents"]
+        assert {(e["pid"], e["tid"]) for e in events} == {(0, 0)}
+
+    def test_empty_trace_exports_cleanly(self):
+        payload = chrome_trace(Trace())
+        assert payload["traceEvents"] == []
+
+
+class TestWriteChromeTrace:
+    def test_writes_valid_json(self, tmp_path):
+        path = tmp_path / "out" / "trace.json"
+        write_chrome_trace(sample_trace(), path)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 4

@@ -1,0 +1,87 @@
+"""Logging seam and process probes."""
+
+import logging
+import sys
+
+from repro.obs import configure_cli_logging, effective_cpu_count, get_logger, peak_rss_bytes
+from repro.obs.logs import LIBRARY_LOGGER_NAME
+from repro.obs import clock
+
+
+class TestGetLogger:
+    def test_root_library_logger(self):
+        assert get_logger().name == LIBRARY_LOGGER_NAME == "repro"
+
+    def test_dotted_children(self):
+        assert get_logger("obs.sinks").name == "repro.obs.sinks"
+
+    def test_import_attaches_a_null_handler(self):
+        # repro/__init__ wires the NullHandler so un-configured embedders
+        # see neither output nor "no handlers" warnings.
+        import repro  # noqa: F401
+
+        assert any(
+            isinstance(h, logging.NullHandler)
+            for h in logging.getLogger("repro").handlers
+        )
+
+
+class TestConfigureCliLogging:
+    def teardown_method(self):
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_cli_handler", False):
+                logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+
+    def cli_handlers(self):
+        return [
+            h for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_cli_handler", False)
+        ]
+
+    def test_verbosity_levels(self):
+        configure_cli_logging(0)
+        assert logging.getLogger("repro").level == logging.WARNING
+        configure_cli_logging(1)
+        assert logging.getLogger("repro").level == logging.INFO
+        configure_cli_logging(2)
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_reconfiguring_replaces_the_handler(self):
+        configure_cli_logging(1)
+        configure_cli_logging(2)
+        assert len(self.cli_handlers()) == 1
+
+    def test_records_flow_to_the_given_stream(self, capsys):
+        configure_cli_logging(1, stream=sys.stderr)
+        get_logger("obs.test").info("hello from the library")
+        assert "INFO repro.obs.test: hello from the library" in capsys.readouterr().err
+
+
+class TestClock:
+    def test_now_is_monotonic_seconds(self):
+        first = clock.now()
+        second = clock.now()
+        assert isinstance(first, float)
+        assert second >= first
+
+
+class TestResources:
+    def test_effective_cpu_count_is_positive(self):
+        assert effective_cpu_count() >= 1
+
+    def test_peak_rss_bytes_is_plausible_on_posix(self):
+        peak = peak_rss_bytes()
+        if peak is None:  # pragma: no cover - non-POSIX platforms
+            return
+        # A running CPython interpreter needs at least a few MB.
+        assert peak > 1_000_000
+
+    def test_peak_rss_never_decreases(self):
+        before = peak_rss_bytes()
+        ballast = [0] * 100_000
+        after = peak_rss_bytes()
+        del ballast
+        if before is not None:
+            assert after >= before

@@ -1,0 +1,56 @@
+"""Counter/gauge registry semantics and the disabled twin."""
+
+from repro.obs import NULL_METRICS, Metrics, NullMetrics
+
+
+class TestMetrics:
+    def test_counters_create_at_zero_and_accumulate(self):
+        metrics = Metrics()
+        assert metrics.counter("cache.hits") == 0
+        metrics.add("cache.hits")
+        metrics.add("cache.hits", 4)
+        assert metrics.counter("cache.hits") == 5
+
+    def test_gauges_keep_the_last_value(self):
+        metrics = Metrics()
+        metrics.gauge("pool.width", 2)
+        metrics.gauge("pool.width", 8)
+        assert metrics.gauges() == {"pool.width": 8.0}
+
+    def test_reads_are_name_sorted_copies(self):
+        metrics = Metrics()
+        metrics.add("z.last", 1)
+        metrics.add("a.first", 1)
+        counters = metrics.counters()
+        assert list(counters) == ["a.first", "z.last"]
+        counters["a.first"] = 99  # mutating the copy must not write back
+        assert metrics.counter("a.first") == 1
+
+    def test_snapshot_bundles_both_families(self):
+        metrics = Metrics()
+        metrics.add("n", 3)
+        metrics.gauge("g", 1.5)
+        assert metrics.snapshot() == {
+            "counters": {"n": 3},
+            "gauges": {"g": 1.5},
+        }
+
+    def test_integer_coercion(self):
+        metrics = Metrics()
+        metrics.add("n", True)  # bools are ints; stays an int counter
+        assert metrics.counter("n") == 1
+
+
+class TestNullMetrics:
+    def test_records_nothing(self):
+        metrics = NullMetrics()
+        metrics.add("n", 100)
+        metrics.gauge("g", 1.0)
+        assert metrics.counter("n") == 0
+        assert metrics.counters() == {}
+        assert metrics.gauges() == {}
+        assert metrics.snapshot() == {"counters": {}, "gauges": {}}
+
+    def test_enabled_flags(self):
+        assert Metrics().enabled
+        assert not NULL_METRICS.enabled
